@@ -1,0 +1,39 @@
+# Dragster reproduction — common workflows.
+
+GO ?= go
+
+.PHONY: all build test race bench repro repro-quick examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table and figure at the paper's 10-minute slots.
+repro:
+	$(GO) run ./cmd/benchmark -exp all -slotsec 600 | tee results_full.txt
+
+# Same experiments at 1-minute slots (~10× faster, same shapes).
+repro-quick:
+	$(GO) run ./cmd/benchmark -exp all -slotsec 60
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/customdag
+	$(GO) run ./examples/vertical
+	$(GO) run ./examples/wordcount -slotsec 60
+	$(GO) run ./examples/workloadshift -slots 40 -phase 10 -slotsec 60
+	$(GO) run ./examples/yahoo -slots 24 -change 12 -slotsec 60
+
+clean:
+	$(GO) clean ./...

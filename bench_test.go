@@ -1,0 +1,447 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6). Each benchmark runs the corresponding experiment at a
+// reduced slot length (60 s instead of the paper's 600 s — the dynamics
+// are identical, 10× faster) and reports the headline quantities of that
+// table/figure as custom metrics, so `go test -bench . -benchmem` prints
+// the reproduction next to the timing. `cmd/benchmark` runs the same
+// experiments at full scale with rendered tables.
+package dragster
+
+import (
+	"math"
+	"testing"
+
+	"dragster/internal/experiment"
+	"dragster/internal/gp"
+	"dragster/internal/osp"
+	"dragster/internal/stats"
+	"dragster/internal/ucb"
+	"dragster/internal/workload"
+)
+
+const benchSlotSeconds = 60
+
+// BenchmarkFig4NoBudget — Fig. 4(a–c): WordCount search trajectories
+// without a budget. Reports convergence minutes per policy (scaled to the
+// paper's 10-minute slots).
+func BenchmarkFig4NoBudget(b *testing.B) {
+	var r *experiment.Fig4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.Fig4(0, 20, benchSlotSeconds, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	scale := 600.0 / benchSlotSeconds
+	b.ReportMetric(r.ConvergenceMinutes["dhalion"]*scale, "dhalion-conv-min")
+	b.ReportMetric(r.ConvergenceMinutes["dragster-saddle"]*scale, "saddle-conv-min")
+	b.ReportMetric(r.ConvergenceMinutes["dragster-ogd"]*scale, "ogd-conv-min")
+}
+
+// BenchmarkFig4Budget — Fig. 4(d–f): the tight-budget WordCount run.
+// Reports the final-throughput gap Dragster achieves over Dhalion (the
+// paper's 64.7% figure).
+func BenchmarkFig4Budget(b *testing.B) {
+	var r *experiment.Fig4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.Fig4(13, 20, benchSlotSeconds, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	gain := 100 * (r.FinalThroughput["dragster-saddle"]/r.FinalThroughput["dhalion"] - 1)
+	b.ReportMetric(gain, "%gain-vs-dhalion")
+	b.ReportMetric(r.FinalThroughput["dragster-saddle"]/1000, "saddle-ktuples/s")
+	b.ReportMetric(r.FinalThroughput["dhalion"]/1000, "dhalion-ktuples/s")
+}
+
+// BenchmarkFig5Convergence — Fig. 5: convergence time across the workload
+// suite. Reports the mean Dragster-saddle speed-up over Dhalion across
+// the workloads where both converge.
+func BenchmarkFig5Convergence(b *testing.B) {
+	var rows []experiment.Fig5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiment.Fig5(40, benchSlotSeconds, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sum, n float64
+	for _, row := range rows {
+		if s, ok := row.SpeedupVsDhalion["dragster-saddle"]; ok && s > 0 {
+			sum += s
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(sum/n, "mean-saddle-speedup-x")
+	}
+	b.ReportMetric(n, "workloads-compared")
+}
+
+// BenchmarkFig6Tracking — Fig. 6: WordCount under recurring load changes.
+// Reports the elastic gain over a static configuration (the paper's
+// "5X–6X improvement despite the 5% checkpoint cost").
+func BenchmarkFig6Tracking(b *testing.B) {
+	var r *experiment.Fig6Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.Fig6(60, 12, benchSlotSeconds, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var saddleMean float64
+	for _, v := range r.Throughput["dragster-saddle"] {
+		saddleMean += v
+	}
+	saddleMean /= float64(len(r.Throughput["dragster-saddle"]))
+	b.ReportMetric(saddleMean/r.StaticMeanThroughput, "elastic-gain-x")
+}
+
+// BenchmarkTable2 — Table 2: per-phase goodput and cost under recurring
+// load changes. Reports Dragster's low-phase cost savings versus Dhalion
+// (paper: 14.6–15.6%) and the tuple-processing gain on the first high
+// phase (paper: 20.0–25.8%).
+func BenchmarkTable2(b *testing.B) {
+	var r *experiment.Fig6Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.Fig6(60, 12, benchSlotSeconds, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var dh, sd, n float64
+	for pi := range r.Phases["dhalion"] {
+		if pi%2 == 1 { // low phases
+			dh += r.Phases["dhalion"][pi].CostPerBillion
+			sd += r.Phases["dragster-saddle"][pi].CostPerBillion
+			n++
+		}
+	}
+	if n > 0 && dh > 0 {
+		b.ReportMetric(100*(1-sd/dh), "%low-phase-cost-savings")
+	}
+	gain := 100 * (r.Phases["dragster-saddle"][0].Processed/r.Phases["dhalion"][0].Processed - 1)
+	b.ReportMetric(gain, "%goodput-gain-phase0")
+}
+
+// BenchmarkFig7Yahoo — Fig. 7: the Yahoo benchmark with a mid-run load
+// step. Reports the convergence speed-up after the step.
+func BenchmarkFig7Yahoo(b *testing.B) {
+	var r *experiment.Fig7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.Fig7(60, 30, benchSlotSeconds, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	scale := 600.0 / benchSlotSeconds
+	dh := r.Phases["dhalion"][1].ConvergenceMinutes2()
+	sd := r.Phases["dragster-saddle"][1].ConvergenceMinutes2()
+	b.ReportMetric(dh*scale, "dhalion-restep-min")
+	b.ReportMetric(sd*scale, "saddle-restep-min")
+	if dh > 0 && sd > 0 {
+		b.ReportMetric(dh/sd, "restep-speedup-x")
+	}
+}
+
+// BenchmarkTable3 — Table 3: Yahoo first-phase processing rate and cost.
+// Reports the relative goodput gain and cost savings of Dragster-saddle
+// over Dhalion (paper: +11.2–14.9% tuples, 4.2% cost savings).
+func BenchmarkTable3(b *testing.B) {
+	var r *experiment.Fig7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.Fig7(60, 30, benchSlotSeconds, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	dh := r.Phases["dhalion"][0]
+	sd := r.Phases["dragster-saddle"][0]
+	b.ReportMetric(100*(sd.MeanThroughput/dh.MeanThroughput-1), "%proc-rate-gain")
+	if dh.CostPerBillion > 0 && !math.IsInf(dh.CostPerBillion, 0) {
+		b.ReportMetric(100*(1-sd.CostPerBillion/dh.CostPerBillion), "%cost-savings")
+	}
+}
+
+// BenchmarkRegretSublinear — Theorem 1 validation: dynamic regret and fit
+// growth over a 120-slot run. Reports the sub-linearity ratio (average
+// regret late/early; ≪1 means sub-linear) and the bound slack.
+func BenchmarkRegretSublinear(b *testing.B) {
+	spec, err := workload.WordCount()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var r *experiment.RegretResult
+	for i := 0; i < b.N; i++ {
+		r, err = experiment.RegretRun(spec, osp.SaddlePoint, 120, benchSlotSeconds, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.SublinearityRegret, "sublinearity-ratio")
+	if r.RegretBound > 0 {
+		b.ReportMetric(r.Regret/r.RegretBound, "regret/bound")
+	}
+	if r.FitBound > 0 {
+		b.ReportMetric(r.PositiveFit/r.FitBound, "fit/bound")
+	}
+}
+
+// BenchmarkTheorem2LearnedH — Theorem 2 validation: Dragster whose
+// controller only has throughput functions learned online from 2×-wrong
+// priors versus the exact-h controller. Reports the regret ratio (Theorem
+// 2 predicts the same order) and the selectivity estimation error.
+func BenchmarkTheorem2LearnedH(b *testing.B) {
+	var r *experiment.Theorem2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.Theorem2Run(0.5, 25, benchSlotSeconds, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if r.ExactRegret > 0 {
+		b.ReportMetric(r.LearnedRegret/r.ExactRegret, "regret-ratio-learned/exact")
+	}
+	b.ReportMetric(math.Abs(r.LearnedK-r.TrueK), "selectivity-error")
+}
+
+// BenchmarkLatencyBound — the bounded-buffer/low-latency claim: mean
+// Little's-law end-to-end latency during the WordCount ramp under each
+// policy.
+func BenchmarkLatencyBound(b *testing.B) {
+	spec, err := workload.WordCount()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates, err := workload.Constant(spec.HighRates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dh, sd float64
+	for i := 0; i < b.N; i++ {
+		run := func(f experiment.PolicyFactory) float64 {
+			res, err := experiment.Run(experiment.Scenario{
+				Spec: spec, Rates: rates, Slots: 20, SlotSeconds: benchSlotSeconds, Seed: int64(i + 1),
+			}, f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return experiment.MeanLatency(res)
+		}
+		dh = run(experiment.DhalionPolicy())
+		sd = run(experiment.DragsterSaddle())
+	}
+	b.ReportMetric(dh, "dhalion-latency-s")
+	b.ReportMetric(sd, "saddle-latency-s")
+}
+
+// BenchmarkAblationAcquisition — design-choice ablation (Remark 1): the
+// extended target-tracking acquisition versus conventional GP-UCB on a
+// down-scaling scenario. Reports the cost premium conventional UCB pays.
+func BenchmarkAblationAcquisition(b *testing.B) {
+	spec, err := workload.WordCount()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cyc, err := workload.Cycle(10, spec.HighRates, spec.LowRates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var extCost, convCost, thompCost float64
+	for i := 0; i < b.N; i++ {
+		run := func(f experiment.PolicyFactory) float64 {
+			res, err := experiment.Run(experiment.Scenario{
+				Spec: spec, Rates: cyc, Slots: 30, SlotSeconds: benchSlotSeconds, Seed: int64(i + 1),
+			}, f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return experiment.CostPerBillion(res)
+		}
+		extCost = run(experiment.DragsterSaddle())
+		convCost = run(experiment.DragsterConventionalUCB())
+		thompCost = run(experiment.DragsterThompson())
+	}
+	if extCost > 0 {
+		b.ReportMetric(100*(convCost/extCost-1), "%conventional-cost-premium")
+		b.ReportMetric(100*(thompCost/extCost-1), "%thompson-cost-premium")
+	}
+}
+
+// BenchmarkAblationVerticalScaling — extension ablation: the 1-D task
+// grid versus the full 2-D (tasks × per-pod CPU) configuration vector of
+// the paper's model, on the resource-aware WordCount at the low rate.
+// Reports cost per billion tuples under each space.
+func BenchmarkAblationVerticalScaling(b *testing.B) {
+	spec, err := workload.WordCount2D()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates, err := workload.Constant(spec.LowRates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var c1, c2 float64
+	for i := 0; i < b.N; i++ {
+		run := func(vertical bool) float64 {
+			res, err := experiment.Run(experiment.Scenario{
+				Spec: spec, Rates: rates, Slots: 30, SlotSeconds: benchSlotSeconds,
+				Seed: int64(i + 1), VerticalScaling: vertical,
+			}, experiment.DragsterSaddle())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return experiment.CostPerBillion(res)
+		}
+		c1 = run(false)
+		c2 = run(true)
+	}
+	b.ReportMetric(c1, "tasks-only-$/1e9")
+	b.ReportMetric(c2, "tasks+cpu-$/1e9")
+}
+
+// BenchmarkAblationKernel — design-choice ablation: SE versus Matérn-5/2
+// kernel for learning a concave capacity curve from noisy Eq. 8 samples.
+// Reports each kernel's mean absolute prediction error after 20 samples.
+func BenchmarkAblationKernel(b *testing.B) {
+	truth := func(n float64) float64 { return 16000 * math.Pow(n, 0.85) }
+	cands := make([][]float64, 10)
+	for n := 1; n <= 10; n++ {
+		cands[n-1] = []float64{float64(n)}
+	}
+	evalKernel := func(k gp.Kernel, seed int64) float64 {
+		rng := stats.NewRNG(seed)
+		s, err := ucb.NewSearcher(ucb.Config{Kernel: k, NoiseVar: 1e6, Candidates: cands})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			n := 1 + float64(rng.Intn(10))
+			if err := s.Observe([]float64{n}, truth(n)+rng.Normal(0, 1000)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var mae float64
+		for n := 1; n <= 10; n++ {
+			mu, _, err := s.PosteriorAt(n - 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mae += math.Abs(mu - truth(float64(n)))
+		}
+		return mae / 10
+	}
+	se, err := gp.NewSquaredExponential(2.25, 2.5e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mat, err := gp.NewMatern52(2.25, 2.5e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seMAE, matMAE float64
+	for i := 0; i < b.N; i++ {
+		seMAE = evalKernel(se, int64(i+1))
+		matMAE = evalKernel(mat, int64(i+1))
+	}
+	b.ReportMetric(seMAE, "se-mae-tuples/s")
+	b.ReportMetric(matMAE, "matern-mae-tuples/s")
+}
+
+// BenchmarkForecastUnderDrift — extension: Holt load forecasting versus
+// the paper's one-slot-lagged targets, under sinusoidal offered-load
+// drift (the "gradual drifts" of §1). Reports processed tuples for each.
+func BenchmarkForecastUnderDrift(b *testing.B) {
+	spec, err := workload.WordCount()
+	if err != nil {
+		b.Fatal(err)
+	}
+	drift, err := workload.Sinusoid([]float64{30000}, []float64{20000}, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lagged, forecast float64
+	for i := 0; i < b.N; i++ {
+		run := func(alpha float64) float64 {
+			res, err := experiment.Run(experiment.Scenario{
+				Spec: spec, Rates: drift, Slots: 48, SlotSeconds: benchSlotSeconds,
+				Seed: int64(i + 1), ForecastAlpha: alpha,
+			}, experiment.DragsterSaddle())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return experiment.TotalProcessed(res)
+		}
+		lagged = run(0)
+		forecast = run(0.6)
+	}
+	if lagged > 0 {
+		b.ReportMetric(100*(forecast/lagged-1), "%goodput-gain-forecast")
+	}
+}
+
+// BenchmarkStormSubstrate — Dragster on the Storm substrate (§3.2:
+// rebalance instead of savepoints). Reports the goodput advantage of the
+// cheaper 10 s reconfiguration over Flink's 30 s savepoint during the
+// search phase.
+func BenchmarkStormSubstrate(b *testing.B) {
+	spec, err := workload.WordCount()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates, err := workload.Constant(spec.HighRates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var flinkT, stormT float64
+	for i := 0; i < b.N; i++ {
+		run := func(engine string) float64 {
+			res, err := experiment.Run(experiment.Scenario{
+				Spec: spec, Rates: rates, Slots: 12, SlotSeconds: benchSlotSeconds,
+				Seed: int64(i + 1), StreamEngine: engine,
+			}, experiment.DragsterSaddle())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return experiment.TotalProcessed(res)
+		}
+		flinkT = run("flink")
+		stormT = run("storm")
+	}
+	if flinkT > 0 {
+		b.ReportMetric(100*(stormT/flinkT-1), "%goodput-gain-vs-flink")
+	}
+}
+
+// BenchmarkControllerDecide — the per-slot cost of one full Algorithm 2
+// pass (dual update, saddle solve, GP refits, acquisition) on the
+// six-operator Yahoo application, the heaviest case in the suite.
+func BenchmarkControllerDecide(b *testing.B) {
+	spec, err := workload.Yahoo()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates, err := workload.Constant(spec.HighRates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One real run to warm the GPs, then time Decide in isolation via the
+	// harness (Run includes simulation; report per-slot wall time).
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Run(experiment.Scenario{
+			Spec: spec, Rates: rates, Slots: 10, SlotSeconds: 30, Seed: int64(i + 1),
+		}, experiment.DragsterSaddle()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

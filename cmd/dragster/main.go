@@ -1,0 +1,123 @@
+// Command dragster runs one autoscaling policy on one benchmark workload
+// against the simulated Flink-on-Kubernetes stack, streaming per-slot
+// progress to stdout.
+//
+// Usage:
+//
+//	dragster -workload wordcount -policy saddle -slots 20
+//	dragster -workload yahoo -policy dhalion -profile step -slots 60
+//	dragster -workload wordcount -policy ogd -budget 13
+//
+// Policies: saddle, ogd, dhalion, ds2. Profiles: high, low, cycle
+// (high/low every -period slots), step (low→high at -period).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dragster/internal/experiment"
+	"dragster/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "wordcount", "workload: group|asyncio|join|window|wordcount|yahoo")
+		policy  = flag.String("policy", "saddle", "policy: saddle|ogd|dhalion|ds2")
+		profile = flag.String("profile", "high", "offered load: high|low|cycle|step")
+		slots   = flag.Int("slots", 20, "decision slots to run")
+		slotSec = flag.Int("slotsec", 600, "slot length in simulated seconds")
+		period  = flag.Int("period", 20, "phase length (cycle) or change slot (step)")
+		budget  = flag.Int("budget", 0, "task budget (0 = unbounded)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		engine  = flag.String("engine", "flink", "stream engine substrate: flink|storm")
+	)
+	flag.Parse()
+	if err := run(*wl, *policy, *profile, *slots, *slotSec, *period, *budget, *seed, *engine); err != nil {
+		fmt.Fprintln(os.Stderr, "dragster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl, policy, profile string, slots, slotSec, period, budget int, seed int64, engine string) error {
+	spec, err := workload.ByName(wl)
+	if err != nil {
+		return err
+	}
+	var rates workload.RateFunc
+	switch profile {
+	case "high":
+		rates, err = workload.Constant(spec.HighRates)
+	case "low":
+		rates, err = workload.Constant(spec.LowRates)
+	case "cycle":
+		rates, err = workload.Cycle(period, spec.HighRates, spec.LowRates)
+	case "step":
+		rates, err = workload.StepAt(period, spec.LowRates, spec.HighRates)
+	default:
+		return fmt.Errorf("unknown profile %q", profile)
+	}
+	if err != nil {
+		return err
+	}
+	var factory experiment.PolicyFactory
+	switch policy {
+	case "saddle":
+		factory = experiment.DragsterSaddle()
+	case "ogd":
+		factory = experiment.DragsterOGD()
+	case "dhalion":
+		factory = experiment.DhalionPolicy()
+	case "ds2":
+		factory = experiment.DS2Policy()
+	default:
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+
+	res, err := experiment.Run(experiment.Scenario{
+		Spec:         spec,
+		Rates:        rates,
+		Slots:        slots,
+		SlotSeconds:  slotSec,
+		Seed:         seed,
+		TaskBudget:   budget,
+		StreamEngine: engine,
+	}, factory)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s on %s/%s (%d operators), %d slots × %ds, budget %s\n",
+		res.Policy, engine, res.Workload, spec.Graph.NumOperators(), slots, slotSec, budgetStr(budget))
+	opt := res.OptimaByPhase[0]
+	fmt.Printf("phase-0 optimum: tasks %v → %.0f tuples/s\n\n", opt.Tasks, opt.Throughput)
+	fmt.Printf("%4s %-24s %12s %12s %8s %10s\n", "slot", "tasks", "steady t/s", "measured", "paused", "cost $")
+	for _, tr := range res.Trace {
+		fmt.Printf("%4d %-24s %12.0f %12.0f %7ds %10.2f\n",
+			tr.Slot, fmt.Sprint(tr.Tasks), tr.SteadyThroughput, tr.MeasuredThroughput, tr.PausedSeconds, tr.CostCum)
+	}
+	fmt.Println()
+	ph, err := experiment.Phases(res)
+	if err != nil {
+		return err
+	}
+	for _, p := range ph {
+		conv := "never"
+		if p.ConvergenceSlots >= 0 {
+			conv = fmt.Sprintf("%.0f min", p.ConvergenceMinutes)
+		}
+		fmt.Printf("phase slots [%d,%d): optimal %.0f t/s, converged %s, %.2fe9 tuples, $%.2f/1e9\n",
+			p.StartSlot, p.EndSlot, p.OptimalThroughput, conv, p.Processed/1e9, p.CostPerBillion)
+	}
+	fmt.Printf("\ntotal: %.3fe9 tuples processed, $%.2f spent ($%.2f per 1e9 tuples)\n",
+		experiment.TotalProcessed(res)/1e9, experiment.TotalCost(res), experiment.CostPerBillion(res))
+	return nil
+}
+
+func budgetStr(b int) string {
+	if b == 0 {
+		return "∞"
+	}
+	return fmt.Sprint(b)
+}

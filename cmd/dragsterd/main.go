@@ -1,0 +1,126 @@
+// Command dragsterd runs the Dragster controller as a long-lived daemon
+// with an operational HTTP surface:
+//
+//	GET /healthz   liveness
+//	GET /status    controller state as JSON
+//	GET /metrics   Prometheus text format
+//
+// Usage:
+//
+//	dragsterd -addr :8080 -workload wordcount -policy saddle -slots 100 \
+//	          -wall 2s      # one decision slot every 2 s of wall clock
+//
+// The daemon drives the simulated Flink-on-Kubernetes stack; in a real
+// deployment the same loop would sit behind the Flink REST API and the
+// Kubernetes metrics server (see internal/monitor.HTTPSource).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"dragster/internal/daemon"
+	"dragster/internal/experiment"
+	"dragster/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		wl      = flag.String("workload", "wordcount", "workload name")
+		policy  = flag.String("policy", "saddle", "policy: saddle|ogd|dhalion|ds2")
+		profile = flag.String("profile", "cycle", "offered load: high|low|cycle|step")
+		period  = flag.Int("period", 20, "phase length (cycle) or change slot (step)")
+		slots   = flag.Int("slots", 1000, "decision slots to run")
+		slotSec = flag.Int("slotsec", 600, "slot length in simulated seconds")
+		wall    = flag.Duration("wall", time.Second, "wall-clock pacing between slots (0 = flat out)")
+		budget  = flag.Int("budget", 0, "task budget (0 = unbounded)")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(*addr, *wl, *policy, *profile, *period, *slots, *slotSec, *wall, *budget, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "dragsterd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, wl, policy, profile string, period, slots, slotSec int, wall time.Duration, budget int, seed int64) error {
+	spec, err := workload.ByName(wl)
+	if err != nil {
+		return err
+	}
+	var rates workload.RateFunc
+	switch profile {
+	case "high":
+		rates, err = workload.Constant(spec.HighRates)
+	case "low":
+		rates, err = workload.Constant(spec.LowRates)
+	case "cycle":
+		rates, err = workload.Cycle(period, spec.HighRates, spec.LowRates)
+	case "step":
+		rates, err = workload.StepAt(period, spec.LowRates, spec.HighRates)
+	default:
+		return fmt.Errorf("unknown profile %q", profile)
+	}
+	if err != nil {
+		return err
+	}
+	var factory experiment.PolicyFactory
+	switch policy {
+	case "saddle":
+		factory = experiment.DragsterSaddle()
+	case "ogd":
+		factory = experiment.DragsterOGD()
+	case "dhalion":
+		factory = experiment.DhalionPolicy()
+	case "ds2":
+		factory = experiment.DS2Policy()
+	default:
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+
+	d, err := daemon.New(daemon.Config{
+		Scenario: experiment.Scenario{
+			Spec:        spec,
+			Rates:       rates,
+			Slots:       slots,
+			SlotSeconds: slotSec,
+			Seed:        seed,
+			TaskBudget:  budget,
+		},
+		Factory:          factory,
+		SlotWallInterval: wall,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	srv := &http.Server{Addr: addr, Handler: d.Handler()}
+	go func() {
+		log.Printf("dragsterd: serving on %s (workload=%s policy=%s)", addr, wl, policy)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("dragsterd: http server: %v", err)
+		}
+	}()
+
+	err = d.Run(ctx)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+	if err != nil && err != context.Canceled {
+		return err
+	}
+	s := d.Snapshot()
+	log.Printf("dragsterd: finished %d/%d slots, %.3fe9 tuples, $%.2f",
+		s.SlotsCompleted, s.SlotsTotal, s.ProcessedTotal/1e9, s.CostDollars)
+	return nil
+}

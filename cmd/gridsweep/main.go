@@ -1,0 +1,86 @@
+// Command gridsweep evaluates the ground-truth throughput landscape of a
+// workload: the full task grid for ≤2-operator applications (the Fig. 4
+// heatmap data) or the greedy/budgeted optimum plus per-operator capacity
+// curves otherwise.
+//
+// Usage:
+//
+//	gridsweep -workload wordcount -rate high
+//	gridsweep -workload yahoo -rate low -budget 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dragster/internal/experiment"
+	"dragster/internal/workload"
+)
+
+func main() {
+	var (
+		wl     = flag.String("workload", "wordcount", "workload name")
+		rate   = flag.String("rate", "high", "offered load: high|low")
+		budget = flag.Int("budget", 0, "task budget (0 = unbounded)")
+	)
+	flag.Parse()
+	if err := run(*wl, *rate, *budget); err != nil {
+		fmt.Fprintln(os.Stderr, "gridsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl, rate string, budget int) error {
+	spec, err := workload.ByName(wl)
+	if err != nil {
+		return err
+	}
+	rates := spec.HighRates
+	if rate == "low" {
+		rates = spec.LowRates
+	} else if rate != "high" {
+		return fmt.Errorf("unknown rate %q", rate)
+	}
+
+	fmt.Printf("workload %s at %s rate %v\n\n", spec.Name, rate, rates)
+
+	fmt.Println("per-operator ground-truth capacity curves (tuples/s):")
+	fmt.Printf("%-14s", "tasks:")
+	for n := 1; n <= spec.MaxTasks; n++ {
+		fmt.Printf(" %8d", n)
+	}
+	fmt.Println()
+	for i, m := range spec.Models {
+		fmt.Printf("%-14s", spec.Graph.OperatorName(i))
+		for n := 1; n <= spec.MaxTasks; n++ {
+			fmt.Printf(" %8.0f", m.Capacity(n))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	if spec.Graph.NumOperators() == 2 {
+		fmt.Println("throughput grid (rows: op0 tasks, cols: op1 tasks, ktuples/s):")
+		for a := spec.MaxTasks; a >= 1; a-- {
+			fmt.Printf("%3d |", a)
+			for b := 1; b <= spec.MaxTasks; b++ {
+				th, err := experiment.SteadyThroughput(spec, rates, []int{a, b})
+				if err != nil {
+					return err
+				}
+				fmt.Printf(" %6.1f", th/1000)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	opt, err := experiment.OptimalConfig(spec, rates, budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("optimum (budget %d): tasks %v (%d total) → %.0f tuples/s\n",
+		budget, opt.Tasks, opt.TotalTasks, opt.Throughput)
+	return nil
+}

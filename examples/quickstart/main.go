@@ -1,0 +1,72 @@
+// Quickstart: build a two-operator stream application, run the full
+// Dragster stack (simulated Kubernetes + Flink + Job Monitor + two-level
+// optimizer) for 15 decision slots, and watch it converge to a
+// near-optimal configuration.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dragster"
+	"dragster/internal/experiment"
+)
+
+func main() {
+	// The WordCount benchmark: source → map (flatMap ×2) → shuffle → sink,
+	// with hidden concave capacity curves the optimizer must learn.
+	spec, err := dragster.WordCountWorkload()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rates, err := dragster.ConstantRates(spec.HighRates)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := dragster.RunScenario(dragster.Scenario{
+		Spec:        spec,
+		Rates:       rates,
+		Slots:       15,
+		SlotSeconds: 600, // the paper's 10-minute decision slots
+		Seed:        1,
+	}, dragster.DragsterSaddlePolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := res.OptimaByPhase[0]
+	fmt.Printf("offered load: %.0f tuples/s — optimal config %v → %.0f tuples/s\n\n",
+		spec.HighRates[0], opt.Tasks, opt.Throughput)
+	fmt.Printf("%4s  %-10s  %12s  %s\n", "slot", "tasks", "steady t/s", "of optimal")
+	for _, tr := range res.Trace {
+		fmt.Printf("%4d  %-10s  %12.0f  %5.1f%%\n",
+			tr.Slot, fmt.Sprint(tr.Tasks), tr.SteadyThroughput, 100*tr.SteadyThroughput/opt.Throughput)
+	}
+
+	conv, err := experiment.ConvergenceMinutes(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDragster reached a near-optimal configuration after %.0f simulated minutes.\n", conv)
+
+	// The same scenario under the Dhalion baseline, for contrast (its
+	// one-task-per-slot walk needs a longer horizon).
+	dh, err := dragster.RunScenario(dragster.Scenario{
+		Spec: spec, Rates: rates, Slots: 25, SlotSeconds: 600, Seed: 1,
+	}, dragster.DhalionPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dhConv, err := experiment.ConvergenceMinutes(dh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dhConv < 0 {
+		fmt.Println("Dhalion did not converge within the horizon.")
+	} else {
+		fmt.Printf("Dhalion needed %.0f minutes — a %.1fX speed-up for Dragster.\n", dhConv, dhConv/conv)
+	}
+}

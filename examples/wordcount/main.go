@@ -1,0 +1,29 @@
+// WordCount search trajectories (the Fig. 4 scenario): run Dhalion and
+// both Dragster variants over the 10×10 (map, shuffle) grid, with and
+// without a resource budget, and print the landscape with each policy's
+// path across it.
+//
+//	go run ./examples/wordcount            # no budget (Fig. 4a–c)
+//	go run ./examples/wordcount -budget 13 # tight budget (Fig. 4d–f)
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"dragster/internal/experiment"
+)
+
+func main() {
+	budget := flag.Int("budget", 0, "task budget (0 = unbounded; the paper's $1.6/h ≈ 13 TaskManager pods)")
+	slotSec := flag.Int("slotsec", 600, "slot length in simulated seconds")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	r, err := experiment.Fig4(*budget, 20, *slotSec, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiment.RenderFig4(os.Stdout, r)
+}

@@ -1,0 +1,50 @@
+// Workload tracking (the Fig. 6 / Table 2 scenario): WordCount under an
+// offered load that alternates high/low every 200 simulated minutes for
+// 1000 minutes. Shows throughput curves (reconfiguration dips included),
+// the per-phase Table 2 statistics, and the gain over a static
+// configuration.
+//
+//	go run ./examples/workloadshift
+//	go run ./examples/workloadshift -slots 40 -phase 10 -slotsec 120  # quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dragster/internal/experiment"
+)
+
+func main() {
+	slots := flag.Int("slots", 100, "decision slots (paper: 100 × 10 min = 1000 min)")
+	phase := flag.Int("phase", 20, "phase length in slots (paper: 20 = 200 min)")
+	slotSec := flag.Int("slotsec", 600, "slot length in simulated seconds")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	r, err := experiment.Fig6(*slots, *phase, *slotSec, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiment.RenderFig6(os.Stdout, r)
+	fmt.Println()
+	experiment.RenderTable2(os.Stdout, r)
+
+	// The paper's cost-savings claim: compare low-phase cost per billion
+	// tuples between Dhalion and Dragster-saddle.
+	fmt.Println("\nlow-phase cost per 1e9 tuples:")
+	var dhalionCost, saddleCost, n float64
+	for pi, ph := range r.Phases["dhalion"] {
+		if pi%2 == 1 { // odd phases are the low-load ones
+			dhalionCost += ph.CostPerBillion
+			saddleCost += r.Phases["dragster-saddle"][pi].CostPerBillion
+			n++
+		}
+	}
+	if n > 0 && dhalionCost > 0 {
+		fmt.Printf("  dhalion $%.2f  dragster-saddle $%.2f  → %.1f%% savings\n",
+			dhalionCost/n, saddleCost/n, 100*(1-saddleCost/dhalionCost))
+	}
+}

@@ -1,0 +1,46 @@
+// Yahoo streaming benchmark (the Fig. 7 / Table 3 scenario): the
+// six-operator advertising pipeline starts at the low offered rate, the
+// load doubles mid-run without notice, and the three policies race to
+// re-converge.
+//
+//	go run ./examples/yahoo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dragster/internal/experiment"
+)
+
+func main() {
+	slots := flag.Int("slots", 60, "decision slots (paper: 60 × 10 min)")
+	change := flag.Int("change", 30, "slot at which the load steps up")
+	slotSec := flag.Int("slotsec", 600, "slot length in simulated seconds")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	r, err := experiment.Fig7(*slots, *change, *slotSec, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiment.RenderFig7(os.Stdout, r)
+	fmt.Println()
+	experiment.RenderTable3(os.Stdout, r)
+
+	fmt.Println("\nper-phase convergence (minutes):")
+	for _, name := range experiment.PolicyOrder {
+		ph := r.Phases[name]
+		fmt.Printf("  %-16s", name)
+		for _, p := range ph {
+			if p.ConvergenceSlots < 0 {
+				fmt.Printf("  phase@%d: never", p.StartSlot)
+			} else {
+				fmt.Printf("  phase@%d: %.0f min", p.StartSlot, p.ConvergenceMinutes)
+			}
+		}
+		fmt.Println()
+	}
+}

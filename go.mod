@@ -1,0 +1,3 @@
+module dragster
+
+go 1.22

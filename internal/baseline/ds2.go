@@ -1,0 +1,85 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dragster/internal/monitor"
+)
+
+// DS2 is a proportional controller in the spirit of Kalavri et al. (OSDI
+// 2018): each operator's parallelism is set to
+//
+//	ceil( required output rate / observed per-task processing rate )
+//
+// in a single step, for every operator simultaneously. It assumes capacity
+// scales linearly with tasks — the assumption Dragster's GP replaces —
+// so it systematically misses the diminishing-returns knee of the real
+// capacity curves. Included as the related-work comparator.
+type DS2 struct {
+	// MaxTasks caps per-operator parallelism.
+	MaxTasks int
+	// MinTasks floors it (default 1).
+	MinTasks int
+	// Headroom multiplies the required rate to absorb noise (default 1.1).
+	Headroom float64
+	// DrainSeconds sizes the extra rate budgeted to drain standing backlog
+	// (default 60: clear the queue within a minute).
+	DrainSeconds float64
+}
+
+// NewDS2 validates and returns the policy.
+func NewDS2(maxTasks int) (*DS2, error) {
+	if maxTasks < 1 {
+		return nil, errors.New("baseline: MaxTasks must be ≥ 1")
+	}
+	return &DS2{MaxTasks: maxTasks, MinTasks: 1, Headroom: 1.1, DrainSeconds: 60}, nil
+}
+
+// Name implements the Autoscaler surface.
+func (d *DS2) Name() string { return "ds2" }
+
+// Decide implements the Autoscaler surface.
+func (d *DS2) Decide(snap *monitor.Snapshot) ([]int, error) {
+	if snap == nil {
+		return nil, errors.New("baseline: nil snapshot")
+	}
+	if d.Headroom < 1 || d.DrainSeconds < 0 || d.MinTasks < 1 || d.MinTasks > d.MaxTasks {
+		return nil, fmt.Errorf("baseline: invalid DS2 parameters %+v", *d)
+	}
+	tasks := make([]int, len(snap.Operators))
+	for i, om := range snap.Operators {
+		tasks[i] = om.Tasks
+		if om.Tasks <= 0 {
+			tasks[i] = d.MinTasks
+			continue
+		}
+		// Observed per-task true processing rate (output units), from the
+		// useful-time normalization: rate/util spreads over tasks.
+		util := math.Max(om.Util, 0.05)
+		perTask := om.OutRate / util / float64(om.Tasks)
+		if perTask <= 0 {
+			continue // nothing observed; keep current
+		}
+		// Required output rate: sustain the selectivity-scaled input plus
+		// drain the standing backlog.
+		sel := 1.0
+		if om.ConsumedRate > 0 {
+			sel = om.OutRate / om.ConsumedRate
+		}
+		required := om.InRate * sel
+		if d.DrainSeconds > 0 {
+			required += om.Backlog * sel / d.DrainSeconds
+		}
+		want := int(math.Ceil(required * d.Headroom / perTask))
+		if want < d.MinTasks {
+			want = d.MinTasks
+		}
+		if want > d.MaxTasks {
+			want = d.MaxTasks
+		}
+		tasks[i] = want
+	}
+	return tasks, nil
+}

@@ -1,0 +1,355 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func newTestCluster(t testing.TB, nodes int) *Cluster {
+	t.Helper()
+	c := New()
+	if err := c.AddNodes("node", nodes, ResourceSpec{CPUMilli: 4000, MemoryMB: 8192}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestResourceSpecValidate(t *testing.T) {
+	if err := (ResourceSpec{CPUMilli: 1000, MemoryMB: 2048}).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := (ResourceSpec{CPUMilli: 0, MemoryMB: 1}).Validate(); err == nil {
+		t.Error("zero CPU accepted")
+	}
+	if err := (ResourceSpec{CPUMilli: 1, MemoryMB: -1}).Validate(); err == nil {
+		t.Error("negative memory accepted")
+	}
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	c := New()
+	spec := ResourceSpec{CPUMilli: 1000, MemoryMB: 1024}
+	if err := c.AddNode("a", spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddNode("a", spec); err == nil {
+		t.Error("duplicate node accepted")
+	}
+}
+
+func TestCreateScaleDeployment(t *testing.T) {
+	c := newTestCluster(t, 2)
+	spec := ResourceSpec{CPUMilli: 1000, MemoryMB: 2048}
+	if err := c.CreateDeployment("tm", spec, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.RunningPods("tm"); got != 3 {
+		t.Fatalf("RunningPods = %d, want 3", got)
+	}
+	if err := c.Scale("tm", 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.RunningPods("tm"); got != 5 {
+		t.Fatalf("after scale up RunningPods = %d", got)
+	}
+	if err := c.Scale("tm", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.RunningPods("tm"); got != 2 {
+		t.Fatalf("after scale down RunningPods = %d", got)
+	}
+	if err := c.Scale("missing", 1); err == nil {
+		t.Error("scaling unknown deployment accepted")
+	}
+	if err := c.Scale("tm", -1); err == nil {
+		t.Error("negative replicas accepted")
+	}
+}
+
+func TestSchedulingCapacityLimit(t *testing.T) {
+	c := newTestCluster(t, 1) // 4000 milli total
+	spec := ResourceSpec{CPUMilli: 1000, MemoryMB: 1024}
+	if err := c.CreateDeployment("tm", spec, 6); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.RunningPods("tm"); got != 4 {
+		t.Errorf("RunningPods = %d, want 4 (node capacity)", got)
+	}
+	if got := c.PendingPods("tm"); got != 2 {
+		t.Errorf("PendingPods = %d, want 2", got)
+	}
+	// Free capacity by scaling down; pending pods should then schedule on
+	// the next tick.
+	if err := c.Scale("tm", 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.RunningPods("tm") + c.PendingPods("tm"); got != 4 {
+		t.Errorf("pods after trim = %d, want 4", got)
+	}
+}
+
+func TestBestFitPacking(t *testing.T) {
+	c := New()
+	if err := c.AddNode("big", ResourceSpec{CPUMilli: 8000, MemoryMB: 16384}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddNode("small", ResourceSpec{CPUMilli: 1000, MemoryMB: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	// One 1-core pod should best-fit onto the small node.
+	if err := c.CreateDeployment("d", ResourceSpec{CPUMilli: 1000, MemoryMB: 1024}, 1); err != nil {
+		t.Fatal(err)
+	}
+	pods := c.Pods()
+	if len(pods) != 1 || pods[0].NodeName != "small" {
+		t.Errorf("best-fit placed pod on %q, want small", pods[0].NodeName)
+	}
+}
+
+func TestResizeRollsPods(t *testing.T) {
+	c := newTestCluster(t, 2)
+	if err := c.CreateDeployment("tm", ResourceSpec{CPUMilli: 500, MemoryMB: 512}, 2); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Pods()
+	if err := c.Resize("tm", ResourceSpec{CPUMilli: 1500, MemoryMB: 512}); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Pods()
+	if len(after) != 2 {
+		t.Fatalf("pods after resize = %d", len(after))
+	}
+	for _, p := range after {
+		if p.Spec.CPUMilli != 1500 {
+			t.Errorf("pod %s kept old spec", p.Name)
+		}
+		for _, old := range before {
+			if p.Name == old.Name {
+				t.Errorf("pod %s survived rolling resize", p.Name)
+			}
+		}
+	}
+}
+
+func TestDeleteDeployment(t *testing.T) {
+	c := newTestCluster(t, 1)
+	if err := c.CreateDeployment("tm", ResourceSpec{CPUMilli: 500, MemoryMB: 512}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteDeployment("tm"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Pods()); got != 0 {
+		t.Errorf("pods after delete = %d", got)
+	}
+	if err := c.DeleteDeployment("tm"); err == nil {
+		t.Error("double delete accepted")
+	}
+}
+
+func TestCostAccrual(t *testing.T) {
+	c := New(WithPricePerCoreHour(1.0))
+	if err := c.AddNodes("n", 2, ResourceSpec{CPUMilli: 4000, MemoryMB: 8192}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateDeployment("tm", ResourceSpec{CPUMilli: 2000, MemoryMB: 1024}, 2); err != nil {
+		t.Fatal(err)
+	}
+	c.Tick(3600) // 4 cores for 1 hour at $1/core-hour
+	if got := c.Cost(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Cost = %v, want 4", got)
+	}
+	if c.Clock() != 3600 {
+		t.Errorf("Clock = %d", c.Clock())
+	}
+	if c.PricePerCoreHour() != 1.0 {
+		t.Errorf("price = %v", c.PricePerCoreHour())
+	}
+}
+
+func TestTickNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Tick did not panic")
+		}
+	}()
+	New().Tick(-1)
+}
+
+func TestMetricsServer(t *testing.T) {
+	c := newTestCluster(t, 1)
+	if err := c.CreateDeployment("tm", ResourceSpec{CPUMilli: 1000, MemoryMB: 512}, 2); err != nil {
+		t.Fatal(err)
+	}
+	pods := c.Pods()
+	if err := c.ReportCPUUsage(pods[0].Name, 800); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReportCPUUsage(pods[1].Name, 400); err != nil {
+		t.Fatal(err)
+	}
+	util, ok := c.DeploymentUtilization("tm")
+	if !ok || math.Abs(util-0.6) > 1e-9 {
+		t.Errorf("utilization = %v ok=%v, want 0.6", util, ok)
+	}
+	// Usage is clamped to the limit and floored at zero.
+	if err := c.ReportCPUUsage(pods[0].Name, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReportCPUUsage(pods[1].Name, -5); err != nil {
+		t.Fatal(err)
+	}
+	ms := c.PodMetrics()
+	if ms[0].CPUMilli != 1000 || ms[1].CPUMilli != 0 {
+		t.Errorf("clamping failed: %+v", ms)
+	}
+	if err := c.ReportCPUUsage("nope", 1); err != ErrUnknownPod {
+		t.Errorf("err = %v, want ErrUnknownPod", err)
+	}
+	if _, ok := c.DeploymentUtilization("missing"); ok {
+		t.Error("utilization of missing deployment reported ok")
+	}
+}
+
+func TestPodPhaseString(t *testing.T) {
+	if PodPending.String() != "Pending" || PodRunning.String() != "Running" || PodTerminated.String() != "Terminated" {
+		t.Error("phase strings wrong")
+	}
+	if !strings.Contains(PodPhase(9).String(), "9") {
+		t.Error("unknown phase string")
+	}
+}
+
+func TestHPAValidation(t *testing.T) {
+	if _, err := NewHPA("", 1, 2, 0.5); err == nil {
+		t.Error("empty deployment accepted")
+	}
+	if _, err := NewHPA("d", 0, 2, 0.5); err == nil {
+		t.Error("min 0 accepted")
+	}
+	if _, err := NewHPA("d", 3, 2, 0.5); err == nil {
+		t.Error("max < min accepted")
+	}
+	if _, err := NewHPA("d", 1, 2, 1.5); err == nil {
+		t.Error("target > 1 accepted")
+	}
+}
+
+func TestHPAScalesUpOnHighUtilization(t *testing.T) {
+	c := newTestCluster(t, 4)
+	if err := c.CreateDeployment("tm", ResourceSpec{CPUMilli: 1000, MemoryMB: 512}, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Pods() {
+		if err := c.ReportCPUUsage(p.Name, 950); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := NewHPA("tm", 1, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desired, acted, err := h.Reconcile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !acted || desired != 4 { // ceil(2 * 0.95/0.5) = 4
+		t.Errorf("HPA desired = %d acted=%v, want 4/true", desired, acted)
+	}
+	if got := c.RunningPods("tm"); got != 4 {
+		t.Errorf("RunningPods = %d", got)
+	}
+}
+
+func TestHPAToleranceSuppressesChurn(t *testing.T) {
+	c := newTestCluster(t, 4)
+	if err := c.CreateDeployment("tm", ResourceSpec{CPUMilli: 1000, MemoryMB: 512}, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Pods() {
+		if err := c.ReportCPUUsage(p.Name, 520); err != nil { // util 0.52 vs target 0.5
+			t.Fatal(err)
+		}
+	}
+	h, err := NewHPA("tm", 1, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, acted, err := h.Reconcile(c); err != nil || acted {
+		t.Errorf("HPA acted within tolerance (err=%v)", err)
+	}
+}
+
+func TestHPAEnsuresMinimumWhenNothingRuns(t *testing.T) {
+	c := newTestCluster(t, 2)
+	if err := c.CreateDeployment("tm", ResourceSpec{CPUMilli: 500, MemoryMB: 512}, 0); err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHPA("tm", 2, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desired, acted, err := h.Reconcile(c)
+	if err != nil || !acted || desired != 2 {
+		t.Errorf("HPA min bootstrap: desired=%d acted=%v err=%v", desired, acted, err)
+	}
+}
+
+func TestVPARecommendAndReconcile(t *testing.T) {
+	c := newTestCluster(t, 2)
+	if err := c.CreateDeployment("tm", ResourceSpec{CPUMilli: 1000, MemoryMB: 512}, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Pods() {
+		if err := c.ReportCPUUsage(p.Name, 900); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := NewVPA("tm", 1.5, 100, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := v.Recommend(c)
+	if !ok || rec != 1350 {
+		t.Errorf("Recommend = %d ok=%v, want 1350", rec, ok)
+	}
+	acted, err := v.Reconcile(c)
+	if err != nil || !acted {
+		t.Fatalf("Reconcile acted=%v err=%v", acted, err)
+	}
+	for _, p := range c.Pods() {
+		if p.Spec.CPUMilli != 1350 {
+			t.Errorf("pod spec = %d, want 1350", p.Spec.CPUMilli)
+		}
+	}
+}
+
+func TestVPAValidation(t *testing.T) {
+	if _, err := NewVPA("", 1.2, 1, 2); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewVPA("d", 0.9, 1, 2); err == nil {
+		t.Error("headroom < 1 accepted")
+	}
+	if _, err := NewVPA("d", 1.2, 5, 2); err == nil {
+		t.Error("max < min accepted")
+	}
+}
+
+func TestVPANoPodsNoAction(t *testing.T) {
+	c := newTestCluster(t, 1)
+	if err := c.CreateDeployment("tm", ResourceSpec{CPUMilli: 500, MemoryMB: 256}, 0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVPA("tm", 1.2, 100, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v.Recommend(c); ok {
+		t.Error("recommendation without pods")
+	}
+	if acted, err := v.Reconcile(c); err != nil || acted {
+		t.Errorf("Reconcile without pods acted=%v err=%v", acted, err)
+	}
+}

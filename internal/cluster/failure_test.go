@@ -1,0 +1,78 @@
+package cluster
+
+import "testing"
+
+func TestRemoveNodeEvictsAndReschedules(t *testing.T) {
+	c := New()
+	if err := c.AddNodes("n", 3, ResourceSpec{CPUMilli: 2000, MemoryMB: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	// 4 pods × 1 core fit on 3 × 2-core nodes with room to spare.
+	if err := c.CreateDeployment("tm", ResourceSpec{CPUMilli: 1000, MemoryMB: 512}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.RunningPods("tm"); got != 4 {
+		t.Fatalf("RunningPods = %d", got)
+	}
+	// Find a node actually hosting pods and kill it.
+	victim := ""
+	for _, p := range c.Pods() {
+		if p.NodeName != "" {
+			victim = p.NodeName
+			break
+		}
+	}
+	if err := c.RemoveNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes()) != 2 {
+		t.Errorf("Nodes after failure = %v", c.Nodes())
+	}
+	// Remaining capacity is 4 cores for 4 pods: everything reschedules.
+	if got := c.RunningPods("tm"); got != 4 {
+		t.Errorf("RunningPods after failover = %d, want 4", got)
+	}
+	for _, p := range c.Pods() {
+		if p.NodeName == victim {
+			t.Errorf("pod %s still placed on dead node", p.Name)
+		}
+	}
+}
+
+func TestRemoveNodeDegradesWhenCapacityShort(t *testing.T) {
+	c := New()
+	if err := c.AddNodes("n", 2, ResourceSpec{CPUMilli: 2000, MemoryMB: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateDeployment("tm", ResourceSpec{CPUMilli: 1000, MemoryMB: 512}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.RunningPods("tm"); got != 4 {
+		t.Fatalf("RunningPods = %d", got)
+	}
+	if err := c.RemoveNode("n-0"); err != nil {
+		t.Fatal(err)
+	}
+	// Only 2 cores left: 2 run, 2 pend.
+	if got := c.RunningPods("tm"); got != 2 {
+		t.Errorf("RunningPods after failure = %d, want 2", got)
+	}
+	if got := c.PendingPods("tm"); got != 2 {
+		t.Errorf("PendingPods after failure = %d, want 2", got)
+	}
+	// Capacity returns: pending pods schedule on the next tick.
+	if err := c.AddNode("replacement", ResourceSpec{CPUMilli: 4000, MemoryMB: 8192}); err != nil {
+		t.Fatal(err)
+	}
+	c.Tick(1)
+	if got := c.RunningPods("tm"); got != 4 {
+		t.Errorf("RunningPods after replacement = %d, want 4", got)
+	}
+}
+
+func TestRemoveNodeUnknown(t *testing.T) {
+	c := New()
+	if err := c.RemoveNode("ghost"); err == nil {
+		t.Error("unknown node removal accepted")
+	}
+}

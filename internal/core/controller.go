@@ -1,0 +1,598 @@
+// Package core assembles Dragster's two-level online optimizer
+// (Algorithm 2 of the paper) into a slot-by-slot controller:
+//
+//  1. observe last slot's application throughput, per-operator throughput
+//     and Eq. 8 capacity samples (from the Job Monitor);
+//  2. update the dual variables (Eq. 15) and solve the online saddle
+//     point / online gradient descent problem (Eq. 14 / Eq. 16) for the
+//     target capacity vector y_t;
+//  3. identify bottleneck operators (those whose target deviates from
+//     their current estimated capacity);
+//  4. for each bottleneck, select the next configuration with the
+//     extended GP-UCB acquisition (Eq. 18) and project the joint choice
+//     onto the resource budget (Eq. 9d).
+//
+// The controller implements the Autoscaler interface shared with the
+// baselines, so the experiment harness can drive any policy uniformly.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dragster/internal/dag"
+	"dragster/internal/gp"
+	"dragster/internal/monitor"
+	"dragster/internal/osp"
+	"dragster/internal/stats"
+	"dragster/internal/store"
+	"dragster/internal/ucb"
+)
+
+// Autoscaler is a per-slot scaling policy. Decide consumes the monitor
+// snapshot of the slot that just finished and returns the desired task
+// count per operator (dense operator-index order) for the next slot.
+type Autoscaler interface {
+	Name() string
+	Decide(snap *monitor.Snapshot) ([]int, error)
+}
+
+// Config assembles a Dragster controller.
+type Config struct {
+	// Graph is the application DAG with its (known or predicted)
+	// throughput functions — the Theorem 1 / Theorem 2 input.
+	Graph *dag.Graph
+	// Method selects the level-1 algorithm (saddle point or OGD).
+	Method osp.Method
+	// Candidates lists the configuration candidates per operator (dense
+	// operator index). The first component of every candidate is the task
+	// count. Defaults to the paper's 1..10 task grid when nil.
+	Candidates [][][]float64
+	// TaskBudget bounds Σ_i tasks_i (Eq. 9d). 0 disables the budget.
+	TaskBudget int
+	// YMax bounds target capacities; pick ≥ the largest plausible operator
+	// capacity (required).
+	YMax float64
+	// NoiseVar is the GP observation noise σ² on Eq. 8 capacity samples
+	// (required; the square of roughly NoiseSigma·capacity-scale).
+	NoiseVar float64
+	// Delta is Theorem 1's confidence parameter δ ∈ (1, ∞); default 2.
+	Delta float64
+	// Acquisition selects extended (default) or conventional GP-UCB.
+	Acquisition ucb.Acquisition
+	// BottleneckTol is the relative target-vs-estimate deviation above
+	// which an operator is reconfigured (default 0.1).
+	BottleneckTol float64
+	// MinObserveUtil skips GP observations from nearly idle slots, whose
+	// Eq. 8 estimate badly underestimates capacity (default 0.15).
+	MinObserveUtil float64
+	// ExplorationScale shrinks the GP-UCB exploration bonus (default 0.1;
+	// see ucb.Config.ExplorationScale). 1 restores the raw theoretical
+	// schedule.
+	ExplorationScale float64
+	// HyperoptEvery re-fits each operator's GP kernel hyperparameters by
+	// log-marginal-likelihood grid search every HyperoptEvery observations
+	// (0 disables; the defaults are well-calibrated for the built-in
+	// workloads, so this mainly serves custom capacity scales).
+	HyperoptEvery int
+	// RNG supplies posterior draws when Acquisition is ucb.Thompson
+	// (ignored otherwise).
+	RNG *stats.RNG
+	// ForecastAlpha enables Holt load forecasting with the given level
+	// smoothing factor (0 disables): level-1 targets are computed against
+	// the one-slot-ahead rate forecast instead of last slot's observation,
+	// removing the systematic lag under drifting load. The trend factor
+	// defaults to ForecastAlpha/2.
+	ForecastAlpha float64
+	// DB, when set, receives one record per operator per slot, and its
+	// history is replayed into the GPs at construction (warm start).
+	DB *store.DB
+	// OSP overrides the default level-1 configuration (Method and YMax
+	// from this Config still take precedence when set there).
+	OSP *osp.Config
+}
+
+// Controller is the Dragster optimization engine.
+type Controller struct {
+	cfg        Config
+	g          *dag.Graph
+	level1     *osp.Optimizer
+	searchers  []*ucb.Searcher
+	forecaster *loadForecaster // nil when forecasting is off
+	lastTasks  []int
+	lastCPU    []int // last observed per-pod CPU (0 = unknown/1-D configs)
+	slot       int
+}
+
+// New validates cfg and builds the controller, warm-starting from the
+// history database when one is supplied.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("core: nil graph")
+	}
+	m := cfg.Graph.NumOperators()
+	if cfg.YMax <= 0 {
+		return nil, errors.New("core: YMax must be positive")
+	}
+	if cfg.NoiseVar <= 0 {
+		return nil, errors.New("core: NoiseVar must be positive")
+	}
+	if cfg.BottleneckTol == 0 {
+		cfg.BottleneckTol = 0.1
+	}
+	if cfg.BottleneckTol < 0 {
+		return nil, errors.New("core: negative BottleneckTol")
+	}
+	if cfg.MinObserveUtil == 0 {
+		cfg.MinObserveUtil = 0.15
+	}
+	if cfg.MinObserveUtil < 0 || cfg.MinObserveUtil >= 1 {
+		return nil, errors.New("core: MinObserveUtil outside [0, 1)")
+	}
+	if cfg.ExplorationScale == 0 {
+		cfg.ExplorationScale = 0.1
+	}
+	if cfg.ExplorationScale < 0 {
+		return nil, errors.New("core: negative ExplorationScale")
+	}
+	if cfg.HyperoptEvery < 0 {
+		return nil, errors.New("core: negative HyperoptEvery")
+	}
+	if cfg.ForecastAlpha < 0 || cfg.ForecastAlpha >= 1 {
+		return nil, errors.New("core: ForecastAlpha outside [0, 1)")
+	}
+	if cfg.Candidates == nil {
+		grid, err := store.TaskGrid(1, 10)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Candidates = make([][][]float64, m)
+		for i := range cfg.Candidates {
+			cfg.Candidates[i] = grid
+		}
+	}
+	if len(cfg.Candidates) != m {
+		return nil, fmt.Errorf("core: got candidate lists for %d operators, want %d", len(cfg.Candidates), m)
+	}
+	if cfg.TaskBudget < 0 {
+		return nil, errors.New("core: negative TaskBudget")
+	}
+	if cfg.TaskBudget > 0 && cfg.TaskBudget < m {
+		return nil, fmt.Errorf("core: budget %d cannot host %d operators", cfg.TaskBudget, m)
+	}
+
+	ospCfg := osp.Config{Method: cfg.Method, YMax: cfg.YMax}
+	if cfg.OSP != nil {
+		ospCfg = *cfg.OSP
+		ospCfg.Method = cfg.Method
+		ospCfg.YMax = cfg.YMax
+	}
+	level1, err := osp.New(cfg.Graph, ospCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Controller{
+		cfg:       cfg,
+		g:         cfg.Graph,
+		level1:    level1,
+		searchers: make([]*ucb.Searcher, m),
+		lastTasks: make([]int, m),
+		lastCPU:   make([]int, m),
+	}
+	capScale := cfg.YMax // kernel variance in capacity units²
+	for i := 0; i < m; i++ {
+		s, err := ucb.NewSearcher(ucb.Config{
+			NoiseVar:         cfg.NoiseVar,
+			Candidates:       cfg.Candidates[i],
+			Delta:            cfg.Delta,
+			Acquisition:      cfg.Acquisition,
+			Kernel:           capacityKernel(cfg.Candidates[i], capScale),
+			ExplorationScale: cfg.ExplorationScale,
+			RefitEvery:       cfg.HyperoptEvery,
+			RNG:              cfg.RNG,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: operator %d searcher: %w", i, err)
+		}
+		c.searchers[i] = s
+		c.lastTasks[i] = int(math.Round(cfg.Candidates[i][0][0]))
+	}
+	if cfg.ForecastAlpha > 0 {
+		f, err := newLoadForecaster(cfg.Graph.NumSources(), cfg.ForecastAlpha, cfg.ForecastAlpha/2)
+		if err != nil {
+			return nil, err
+		}
+		c.forecaster = f
+	}
+	if cfg.DB != nil {
+		if err := c.warmStart(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// capacityKernel builds a kernel whose per-dimension length scales span
+// ~25% of each candidate axis and whose variance matches the capacity
+// scale, so prior uncertainty is meaningful in tuples/s units and a
+// multi-dimensional configuration space (tasks × CPU) generalizes along
+// every axis.
+func capacityKernel(cands [][]float64, capScale float64) gp.Kernel {
+	dim := len(cands[0])
+	scales := make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, c := range cands {
+			if c[d] < lo {
+				lo = c[d]
+			}
+			if c[d] > hi {
+				hi = c[d]
+			}
+		}
+		scales[d] = math.Max(0.25*(hi-lo), 0.5)
+	}
+	variance := (capScale / 3) * (capScale / 3)
+	if dim == 1 {
+		k, err := gp.NewSquaredExponential(scales[0], variance)
+		if err != nil {
+			// Parameters above are positive by construction; unreachable.
+			panic(err)
+		}
+		return k
+	}
+	k, err := gp.NewARDSquaredExponential(scales, variance)
+	if err != nil {
+		panic(err) // unreachable, as above
+	}
+	return k
+}
+
+// warmStart replays DB history into the per-operator GPs.
+func (c *Controller) warmStart() error {
+	for i := 0; i < c.g.NumOperators(); i++ {
+		name := c.g.OperatorName(i)
+		for _, r := range c.cfg.DB.History(name) {
+			if r.CapacityObs <= 0 {
+				continue
+			}
+			if err := c.searchers[i].Observe(r.Config, r.CapacityObs); err != nil {
+				return fmt.Errorf("core: warm start operator %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Name implements Autoscaler.
+func (c *Controller) Name() string {
+	return "dragster-" + c.cfg.Method.String()
+}
+
+// Searcher exposes the per-operator GP-UCB searcher (diagnostics,
+// information-gain accounting in the regret experiments).
+func (c *Controller) Searcher(i int) *ucb.Searcher { return c.searchers[i] }
+
+// Duals returns the level-1 dual variables.
+func (c *Controller) Duals() []float64 { return c.level1.Duals() }
+
+// LastTargets is set by Decide; see Decide.
+type LastTargets struct {
+	Y           []float64 // level-1 target capacities
+	Bottlenecks []int     // operator indices reconfigured this slot
+	Beta        float64   // UCB weight used (last bottleneck)
+}
+
+var errNoSnapshot = errors.New("core: nil snapshot")
+
+// Decide implements Autoscaler: one pass of Algorithm 2.
+func (c *Controller) Decide(snap *monitor.Snapshot) ([]int, error) {
+	tasks, _, err := c.DecideDetailed(snap)
+	return tasks, err
+}
+
+// DecideDetailed is Decide plus diagnostics (targets, bottleneck set).
+func (c *Controller) DecideDetailed(snap *monitor.Snapshot) ([]int, *LastTargets, error) {
+	cfgs, diag, err := c.DecideConfigs(snap)
+	if err != nil {
+		return nil, nil, err
+	}
+	tasks := make([]int, len(cfgs))
+	for i, v := range cfgs {
+		tasks[i] = int(math.Round(v[0]))
+	}
+	return tasks, diag, nil
+}
+
+// DecideResources is DecideDetailed for two-dimensional candidate spaces:
+// it additionally returns the per-pod CPU millicores of the selected
+// configurations (0 for operators with 1-D candidates).
+func (c *Controller) DecideResources(snap *monitor.Snapshot) (tasks []int, cpuMilli []int, diag *LastTargets, err error) {
+	cfgs, diag, err := c.DecideConfigs(snap)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tasks = make([]int, len(cfgs))
+	cpuMilli = make([]int, len(cfgs))
+	for i, v := range cfgs {
+		tasks[i] = int(math.Round(v[0]))
+		if len(v) > 1 {
+			cpuMilli[i] = int(math.Round(v[1]))
+		}
+	}
+	return tasks, cpuMilli, diag, nil
+}
+
+// DecideConfigs runs one Algorithm 2 pass and returns the full selected
+// configuration vector per operator (first component = task count; extra
+// components, e.g. CPU millicores, preserved from the candidate space).
+func (c *Controller) DecideConfigs(snap *monitor.Snapshot) ([][]float64, *LastTargets, error) {
+	if snap == nil {
+		return nil, nil, errNoSnapshot
+	}
+	m := c.g.NumOperators()
+	if len(snap.Operators) != m {
+		return nil, nil, fmt.Errorf("core: snapshot has %d operators, want %d", len(snap.Operators), m)
+	}
+	if len(snap.SourceRates) != c.g.NumSources() {
+		return nil, nil, fmt.Errorf("core: snapshot has %d source rates, want %d", len(snap.SourceRates), c.g.NumSources())
+	}
+	c.slot++
+
+	// (1) Feed Eq. 8 capacity samples into the GPs and the history DB.
+	for i, om := range snap.Operators {
+		cfgVec := c.configFor(i, om.Tasks, om.CPUMilli)
+		if om.Util >= c.cfg.MinObserveUtil && om.CapacityObs > 0 {
+			if err := c.searchers[i].Observe(cfgVec, om.CapacityObs); err != nil {
+				return nil, nil, err
+			}
+		}
+		if c.cfg.DB != nil {
+			if err := c.cfg.DB.Append(store.Record{
+				Slot:        snap.Slot,
+				Operator:    om.Name,
+				Config:      cfgVec,
+				Throughput:  snap.Throughput,
+				CapacityObs: om.CapacityObs,
+				Util:        om.Util,
+			}); err != nil {
+				return nil, nil, err
+			}
+		}
+		c.lastTasks[i] = om.Tasks
+		c.lastCPU[i] = om.CPUMilli
+	}
+
+	// (1b) Theorem 2: fit any learned throughput functions. The regression
+	// input is the *consumed* rate, not the arrival rate: the emitted
+	// output is h(consumed) regardless of capacity truncation or backlog
+	// draining, so every slot is an unbiased sample (exactly for linear h,
+	// approximately for concave forms).
+	ops := c.g.Operators()
+	for i, om := range snap.Operators {
+		if om.ConsumedRate <= 0 {
+			continue
+		}
+		id := ops[i]
+		for _, s := range c.g.Succs(id) {
+			key := dag.EdgeKey{From: id, To: s}
+			if learner, ok := c.g.H(key).(dag.ThroughputLearner); ok {
+				// Per-edge output approximated by the α split of the
+				// aggregate; invalid samples are rejected by the learner.
+				_ = learner.ObserveRates(om.ConsumedRate, om.OutRate*c.g.Alpha(key))
+			}
+		}
+	}
+
+	// (2) Dual update from realized violations l_i = demand_i − c_i, with
+	// demand computed by pushing the observed offered load through the
+	// (known/predicted) throughput functions at the observed capacities.
+	capObs := make([]float64, m)
+	for i, om := range snap.Operators {
+		capObs[i] = math.Max(om.CapacityObs, 0)
+	}
+	rep, err := c.g.Evaluate(snap.SourceRates, capObs)
+	if err != nil {
+		return nil, nil, err
+	}
+	viol := make([]float64, m)
+	for i := range viol {
+		viol[i] = rep.Demand[i] - capObs[i]
+	}
+	if err := c.level1.ObserveViolations(viol); err != nil {
+		return nil, nil, err
+	}
+
+	// (3) Level 1: target capacities from last slot's objective — or from
+	// the one-slot-ahead forecast when forecasting is enabled.
+	targetRates := snap.SourceRates
+	if c.forecaster != nil {
+		c.forecaster.observe(snap.SourceRates)
+		targetRates = c.forecaster.predict()
+	}
+	y, err := c.level1.Step(targetRates)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// (4) Bottlenecks: operators whose current estimated capacity deviates
+	// from the target. The estimate prefers the GP posterior at the current
+	// configuration and falls back to the raw observation.
+	est := make([]float64, m)
+	for i := range est {
+		mu, _, err := c.searchers[i].Regressor().Posterior(c.configFor(i, c.lastTasks[i], c.lastCPU[i]))
+		if err == nil {
+			est[i] = mu
+		} else {
+			est[i] = capObs[i]
+		}
+	}
+	bottlenecks, err := osp.Bottlenecks(y, est, c.cfg.BottleneckTol)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// (5) Level 2: extended GP-UCB per bottleneck operator.
+	chosen := make([][]float64, m)
+	for i := range chosen {
+		chosen[i] = c.configFor(i, c.lastTasks[i], c.lastCPU[i])
+	}
+	diag := &LastTargets{Y: y, Bottlenecks: bottlenecks}
+	for _, i := range bottlenecks {
+		x, _, beta, err := c.searchers[i].Select(y[i])
+		if errors.Is(err, ucb.ErrNoData) {
+			continue // cold start: keep the current configuration
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		chosen[i] = x
+		diag.Beta = beta
+	}
+
+	// (6) Budget projection Π_X (Eq. 9d): first trim to feasibility, then
+	// rebalance tasks across operators by hill-climbing the DAG-predicted
+	// throughput at the GP posterior means — the "balance the capacity
+	// among Map and Shuffle" behaviour of §6.2 that Dhalion lacks.
+	if c.cfg.TaskBudget > 0 {
+		desired := make([]int, m)
+		for i, v := range chosen {
+			desired[i] = int(math.Round(v[0]))
+		}
+		loss := func(op, from int) float64 { return c.taskLoss(op, from, y[op]) }
+		desired, err = ucb.ProjectTasks(desired, c.cfg.TaskBudget, 1, loss)
+		if err != nil {
+			return nil, nil, err
+		}
+		desired = c.rebalanceUnderBudget(desired, targetRates)
+		for i, n := range desired {
+			chosen[i] = c.nearestWithTasks(i, n, chosen[i])
+		}
+	}
+	return chosen, diag, nil
+}
+
+// rebalanceUnderBudget hill-climbs single-task moves between operators
+// while the DAG model predicts a throughput improvement, holding the
+// total at or below the budget. Prediction uses optimistic (UCB)
+// capacities so unexplored operators still attract tasks; when any
+// operator's GP is still empty the step is skipped (cold start).
+func (c *Controller) rebalanceUnderBudget(tasks []int, rates []float64) []int {
+	m := len(tasks)
+	predicted := func(ts []int) (float64, bool) {
+		caps := make([]float64, m)
+		for i, n := range ts {
+			opt, err := c.searchers[i].OptimisticAt(c.configFor(i, n, c.lastCPU[i]))
+			if err != nil {
+				return 0, false
+			}
+			caps[i] = math.Max(opt, 0)
+		}
+		th, err := c.g.Throughput(rates, caps)
+		if err != nil {
+			return 0, false
+		}
+		return th, true
+	}
+	cur, ok := predicted(tasks)
+	if !ok {
+		return tasks
+	}
+	out := append([]int(nil), tasks...)
+	for improved := true; improved; {
+		improved = false
+		for from := 0; from < m; from++ {
+			for to := 0; to < m; to++ {
+				if from == to || out[from] <= 1 || out[to] >= c.maxTasksOf(to) {
+					continue
+				}
+				out[from]--
+				out[to]++
+				if th, ok := predicted(out); ok && th > cur*(1+1e-6) {
+					cur = th
+					improved = true
+				} else {
+					out[from]++
+					out[to]--
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (c *Controller) maxTasksOf(op int) int {
+	maxN := 1
+	for _, cand := range c.cfg.Candidates[op] {
+		if n := int(math.Round(cand[0])); n > maxN {
+			maxN = n
+		}
+	}
+	return maxN
+}
+
+// taskLoss estimates how much removing one task from operator op (at
+// `from` tasks) increases its shortfall against target: the projection
+// trims tasks where the GP says capacity is least needed.
+func (c *Controller) taskLoss(op, from int, target float64) float64 {
+	muFrom, _, errA := c.searchers[op].Regressor().Posterior(c.configFor(op, from, c.lastCPU[op]))
+	muTo, _, errB := c.searchers[op].Regressor().Posterior(c.configFor(op, from-1, c.lastCPU[op]))
+	if errA != nil || errB != nil {
+		// No data yet: assume linear capacity in tasks so trimming larger
+		// allocations first is neutral.
+		return 1
+	}
+	shortfall := func(mu float64) float64 { return math.Max(0, target-mu) }
+	// Primary term: growth in shortfall; secondary: raw capacity loss.
+	return (shortfall(muTo)-shortfall(muFrom))*1000 + math.Max(0, muFrom-muTo)
+}
+
+// configFor maps an observed (tasks, cpuMilli) allocation onto the
+// operator's candidate space: the nearest candidate by task count (and by
+// CPU for ≥2-dimensional candidates), with the first component forced to
+// the observed task count. cpuMilli 0 means unknown.
+func (c *Controller) configFor(op, tasks, cpuMilli int) []float64 {
+	cands := c.cfg.Candidates[op]
+	dist := func(cand []float64) float64 {
+		d := math.Abs(cand[0] - float64(tasks))
+		if len(cand) > 1 && cpuMilli > 0 {
+			// Normalize the CPU axis so one task step ≈ one 500m CPU step.
+			d += math.Abs(cand[1]-float64(cpuMilli)) / 500
+		}
+		return d
+	}
+	best := cands[0]
+	bestD := dist(cands[0])
+	for _, cand := range cands[1:] {
+		if d := dist(cand); d < bestD {
+			best, bestD = cand, d
+		}
+	}
+	out := append([]float64(nil), best...)
+	out[0] = float64(tasks)
+	if len(out) > 1 && cpuMilli > 0 {
+		out[1] = float64(cpuMilli)
+	}
+	return out
+}
+
+// nearestWithTasks returns the candidate whose task count equals tasks and
+// whose remaining dimensions are closest to `like`; when no candidate has
+// that exact task count the nearest-by-task candidate wins.
+func (c *Controller) nearestWithTasks(op, tasks int, like []float64) []float64 {
+	cands := c.cfg.Candidates[op]
+	best := cands[0]
+	bestScore := math.Inf(1)
+	for _, cand := range cands {
+		score := 1000 * math.Abs(cand[0]-float64(tasks))
+		for d := 1; d < len(cand) && d < len(like); d++ {
+			score += math.Abs(cand[d] - like[d])
+		}
+		if score < bestScore {
+			best, bestScore = cand, score
+		}
+	}
+	return append([]float64(nil), best...)
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// loadForecaster is a Holt (double-exponential) smoother over the offered
+// source rates. The paper's online model only learns f_t one slot later
+// (§4.2.1); under gradually drifting load (the §1 motivation) targeting
+// last slot's rates systematically lags by one slot. The forecaster
+// extrapolates level + trend one slot ahead, so the level-1 targets stand
+// where the load is going rather than where it was.
+type loadForecaster struct {
+	alpha, beta float64
+	level       []float64
+	trend       []float64
+	n           int
+}
+
+// newLoadForecaster validates the smoothing parameters. alpha ∈ (0, 1);
+// beta ∈ (0, 1) (conventionally smaller than alpha).
+func newLoadForecaster(nSources int, alpha, beta float64) (*loadForecaster, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return nil, errors.New("core: forecast alpha outside (0, 1)")
+	}
+	if beta <= 0 || beta >= 1 {
+		return nil, errors.New("core: forecast beta outside (0, 1)")
+	}
+	if nSources < 1 {
+		return nil, errors.New("core: forecaster needs at least one source")
+	}
+	return &loadForecaster{
+		alpha: alpha,
+		beta:  beta,
+		level: make([]float64, nSources),
+		trend: make([]float64, nSources),
+	}, nil
+}
+
+// observe folds in one slot of observed rates.
+func (f *loadForecaster) observe(rates []float64) {
+	if len(rates) != len(f.level) {
+		return // defensive; callers validate snapshot shapes upstream
+	}
+	if f.n == 0 {
+		copy(f.level, rates)
+		f.n++
+		return
+	}
+	for i, r := range rates {
+		prevLevel := f.level[i]
+		f.level[i] = f.alpha*r + (1-f.alpha)*(prevLevel+f.trend[i])
+		f.trend[i] = f.beta*(f.level[i]-prevLevel) + (1-f.beta)*f.trend[i]
+	}
+	f.n++
+}
+
+// predict extrapolates one slot ahead (level + trend, floored at zero).
+// Before two observations it returns the last observation unchanged.
+func (f *loadForecaster) predict() []float64 {
+	out := make([]float64, len(f.level))
+	for i := range out {
+		out[i] = math.Max(0, f.level[i]+f.trend[i])
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dragster/internal/stats"
+)
+
+func TestNewLoadForecasterValidation(t *testing.T) {
+	if _, err := newLoadForecaster(1, 0, 0.1); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := newLoadForecaster(1, 1, 0.1); err == nil {
+		t.Error("alpha 1 accepted")
+	}
+	if _, err := newLoadForecaster(1, 0.5, 0); err == nil {
+		t.Error("beta 0 accepted")
+	}
+	if _, err := newLoadForecaster(0, 0.5, 0.2); err == nil {
+		t.Error("zero sources accepted")
+	}
+}
+
+func TestForecasterTracksRamp(t *testing.T) {
+	f, err := newLoadForecaster(1, 0.6, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Linear ramp: rate(t) = 1000 + 100·t. After warm-up the one-step
+	// forecast must beat the naive last-value predictor.
+	var holtErr, naiveErr float64
+	prev := 0.0
+	for tt := 0; tt < 30; tt++ {
+		rate := 1000 + 100*float64(tt)
+		if tt >= 10 {
+			pred := f.predict()[0]
+			holtErr += math.Abs(pred - rate)
+			naiveErr += math.Abs(prev - rate)
+		}
+		f.observe([]float64{rate})
+		prev = rate
+	}
+	if holtErr >= naiveErr {
+		t.Errorf("Holt error %v not below naive last-value error %v", holtErr, naiveErr)
+	}
+}
+
+func TestForecasterNonNegative(t *testing.T) {
+	f, err := newLoadForecaster(1, 0.6, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crash to zero with a steep negative trend must not forecast below
+	// zero (rates are non-negative by definition).
+	for _, r := range []float64{1000, 600, 200, 0, 0} {
+		f.observe([]float64{r})
+	}
+	if got := f.predict()[0]; got < 0 {
+		t.Errorf("negative forecast %v", got)
+	}
+}
+
+func TestForecasterColdStart(t *testing.T) {
+	f, err := newLoadForecaster(2, 0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.observe([]float64{100, 50})
+	pred := f.predict()
+	if pred[0] != 100 || pred[1] != 50 {
+		t.Errorf("cold-start prediction %v, want the first observation", pred)
+	}
+	// Wrong-length updates are ignored defensively.
+	f.observe([]float64{1})
+	if got := f.predict(); got[0] != 100 {
+		t.Errorf("malformed observe mutated state: %v", got)
+	}
+}
+
+func TestControllerForecastValidation(t *testing.T) {
+	cfg := Config{Graph: chain(t), YMax: 1000, NoiseVar: 100, ForecastAlpha: 1.5}
+	if _, err := New(cfg); err == nil {
+		t.Error("ForecastAlpha ≥ 1 accepted")
+	}
+}
+
+// TestForecastReducesLagUnderRamp runs the closed synthetic loop with a
+// steadily climbing offered rate: the forecasting controller should keep
+// capacity ahead of demand in more slots than the lagging one.
+func TestForecastReducesLagUnderRamp(t *testing.T) {
+	run := func(alpha float64) int {
+		c := newController(t, func(cfg *Config) { cfg.ForecastAlpha = alpha })
+		rng := stats.NewRNG(19)
+		tasks := []int{1, 1}
+		covered := 0
+		for slot := 0; slot < 25; slot++ {
+			rate := 100 + 15*float64(slot) // demand = 2·rate at the map
+			snap := snapshotAt(slot, rate, tasks, rng)
+			next, err := c.Decide(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tasks = next
+			// Does the chosen capacity cover NEXT slot's demand?
+			nextDemand := 2 * (100 + 15*float64(slot+1))
+			if capCurve(tasks[0]) >= nextDemand {
+				covered++
+			}
+		}
+		return covered
+	}
+	lagging := run(0)
+	forecasting := run(0.6)
+	if forecasting <= lagging {
+		t.Errorf("forecasting covered %d slots vs %d without — no improvement", forecasting, lagging)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dragster/internal/monitor"
+	"dragster/internal/stats"
+	"dragster/internal/store"
+)
+
+// capCurve2D is the hidden 2-D capacity model: concave in tasks, sublinear
+// in CPU relative to the 1000m reference.
+func capCurve2D(tasks, cpuMilli int) float64 {
+	return 100 * math.Pow(float64(tasks), 0.9) * math.Pow(float64(cpuMilli)/1000, 0.8)
+}
+
+func snapshot2D(slot int, rate float64, tasks, cpu []int, rng *stats.RNG) *monitor.Snapshot {
+	capM := capCurve2D(tasks[0], cpu[0])
+	capS := capCurve2D(tasks[1], cpu[1])
+	outM := math.Min(capM, 2*rate)
+	outS := math.Min(capS, outM)
+	noise := func() float64 { return 1 + rng.Normal(0, 0.01) }
+	return &monitor.Snapshot{
+		Slot:        slot,
+		Throughput:  outS,
+		SourceRates: []float64{rate},
+		Operators: []monitor.OperatorMetrics{
+			{Name: "map", Tasks: tasks[0], CPUMilli: cpu[0], InRate: rate, OutRate: outM,
+				Util: math.Min(1, outM/capM), CapacityObs: capM * noise()},
+			{Name: "shuffle", Tasks: tasks[1], CPUMilli: cpu[1], InRate: outM, OutRate: outS,
+				Util: math.Min(1, outS/capS), CapacityObs: capS * noise()},
+		},
+	}
+}
+
+func TestDecideResources2DConverges(t *testing.T) {
+	grid, err := store.Grid2D(1, 8, 500, 2000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newController(t, func(cfg *Config) {
+		cfg.Candidates = [][][]float64{grid, grid}
+	})
+	rng := stats.NewRNG(12)
+	tasks := []int{1, 1}
+	cpu := []int{1000, 1000}
+	// Demand 400 output/s per operator (rate 200 × sel 2). Reachable e.g.
+	// at (4 tasks, 1000m) ≈ 348 — not quite — or (4, 1500)=482,
+	// (5, 1000)=425, (3, 2000)=465...
+	for slot := 0; slot < 30; slot++ {
+		snap := snapshot2D(slot, 200, tasks, cpu, rng)
+		nextTasks, nextCPU, diag, err := c.DecideResources(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diag.Y) != 2 {
+			t.Fatal("missing diagnostics")
+		}
+		for i := range nextCPU {
+			if nextCPU[i] == 0 {
+				t.Fatalf("slot %d: 2-D candidates produced no CPU for op %d", slot, i)
+			}
+		}
+		tasks, cpu = nextTasks, nextCPU
+	}
+	for i := range tasks {
+		got := capCurve2D(tasks[i], cpu[i])
+		if got < 0.9*400 {
+			t.Errorf("op %d at (%d tasks, %dm) capacity %.0f ≪ demand 400", i, tasks[i], cpu[i], got)
+		}
+		// The economical property: not wildly over-provisioned.
+		if got > 2.2*400 {
+			t.Errorf("op %d grossly over-provisioned: (%d, %dm) → %.0f", i, tasks[i], cpu[i], got)
+		}
+	}
+}
+
+func TestDecideResourcesOneDimensionalGivesZeroCPU(t *testing.T) {
+	c := newController(t) // default 1-D task grid
+	rng := stats.NewRNG(13)
+	snap := snapshotAt(0, 100, []int{1, 1}, rng)
+	_, cpu, _, err := c.DecideResources(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range cpu {
+		if v != 0 {
+			t.Errorf("1-D candidates yielded CPU %d for op %d", v, i)
+		}
+	}
+}
+
+func TestConfigForCPUMatching(t *testing.T) {
+	grid, err := store.Grid2D(1, 4, 500, 2000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newController(t, func(cfg *Config) {
+		cfg.Candidates = [][][]float64{grid, grid}
+	})
+	v := c.configFor(0, 3, 1500)
+	if v[0] != 3 || v[1] != 1500 {
+		t.Errorf("configFor(3, 1500) = %v", v)
+	}
+	// Unknown CPU: nearest candidate's CPU is preserved.
+	v = c.configFor(0, 2, 0)
+	if v[0] != 2 || v[1] < 500 || v[1] > 2000 {
+		t.Errorf("configFor(2, unknown) = %v", v)
+	}
+	// nearestWithTasks keeps the non-task dims close to the reference.
+	v = c.nearestWithTasks(0, 4, []float64{9, 2000})
+	if v[0] != 4 || v[1] != 2000 {
+		t.Errorf("nearestWithTasks = %v", v)
+	}
+}

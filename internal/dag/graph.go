@@ -1,0 +1,492 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dragster/internal/autodiff"
+)
+
+// Kind classifies a node in the data stream graph.
+type Kind int
+
+// Node kinds. A Source reads from an external queue and emits tuples, an
+// Operator consumes and transforms tuples under a service-capacity limit,
+// and a Sink absorbs results (its inflow is the application throughput).
+const (
+	Source Kind = iota
+	Operator
+	Sink
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Source:
+		return "source"
+	case Operator:
+		return "operator"
+	case Sink:
+		return "sink"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// NodeID identifies a node within one Graph.
+type NodeID int
+
+// EdgeKey identifies a directed edge.
+type EdgeKey struct {
+	From, To NodeID
+}
+
+// Graph is a validated, immutable stream-application DAG. Build one with a
+// Builder. All query methods are safe for concurrent use.
+type Graph struct {
+	names []string
+	kinds []Kind
+
+	preds [][]NodeID // ordered; defines the input-vector order for h
+	succs [][]NodeID
+
+	edgeH     map[EdgeKey]ThroughputFunc
+	edgeAlpha map[EdgeKey]float64
+
+	topo      []NodeID
+	sources   []NodeID
+	operators []NodeID
+	sinks     []NodeID
+	opIndex   map[NodeID]int // NodeID -> dense operator index
+	srcIndex  map[NodeID]int
+}
+
+// Builder accumulates nodes and edges for a Graph.
+type Builder struct {
+	names []string
+	kinds []Kind
+	edges []builderEdge
+}
+
+type builderEdge struct {
+	from, to NodeID
+	h        ThroughputFunc
+	alpha    float64
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+func (b *Builder) addNode(name string, k Kind) NodeID {
+	b.names = append(b.names, name)
+	b.kinds = append(b.kinds, k)
+	return NodeID(len(b.names) - 1)
+}
+
+// Source declares a source node and returns its ID.
+func (b *Builder) Source(name string) NodeID { return b.addNode(name, Source) }
+
+// Operator declares an operator node and returns its ID.
+func (b *Builder) Operator(name string) NodeID { return b.addNode(name, Operator) }
+
+// Sink declares a sink node and returns its ID. Multiple sinks are allowed;
+// the application throughput is the sum of their inflows (the paper's
+// virtual-sink construction).
+func (b *Builder) Sink(name string) NodeID { return b.addNode(name, Sink) }
+
+// Edge declares a directed edge from → to. For edges leaving an operator,
+// h is the throughput function h_{from,to} and must be non-nil; for edges
+// leaving a source, h must be nil (a source emits its offered rate
+// directly). alpha is the capacity-splitting weight α_{from,to}; the
+// weights leaving each node must sum to 1 (checked at Build).
+func (b *Builder) Edge(from, to NodeID, h ThroughputFunc, alpha float64) {
+	b.edges = append(b.edges, builderEdge{from: from, to: to, h: h, alpha: alpha})
+}
+
+// Chain is a convenience for linear pipelines: it connects each consecutive
+// pair with alpha = 1 and the supplied throughput functions (hs[i] connects
+// nodes[i] → nodes[i+1]; use nil for the source's outgoing edge).
+func (b *Builder) Chain(nodes []NodeID, hs []ThroughputFunc) error {
+	if len(hs) != len(nodes)-1 {
+		return fmt.Errorf("dag: Chain needs %d throughput functions for %d nodes, got %d", len(nodes)-1, len(nodes), len(hs))
+	}
+	for i := 0; i+1 < len(nodes); i++ {
+		b.Edge(nodes[i], nodes[i+1], hs[i], 1)
+	}
+	return nil
+}
+
+// Build validates the accumulated topology and returns an immutable Graph.
+func (b *Builder) Build() (*Graph, error) {
+	n := len(b.names)
+	if n == 0 {
+		return nil, errors.New("dag: empty graph")
+	}
+	g := &Graph{
+		names:     append([]string(nil), b.names...),
+		kinds:     append([]Kind(nil), b.kinds...),
+		preds:     make([][]NodeID, n),
+		succs:     make([][]NodeID, n),
+		edgeH:     make(map[EdgeKey]ThroughputFunc, len(b.edges)),
+		edgeAlpha: make(map[EdgeKey]float64, len(b.edges)),
+		opIndex:   make(map[NodeID]int),
+		srcIndex:  make(map[NodeID]int),
+	}
+	for _, e := range b.edges {
+		if e.from < 0 || int(e.from) >= n || e.to < 0 || int(e.to) >= n {
+			return nil, fmt.Errorf("dag: edge (%d→%d) references unknown node", e.from, e.to)
+		}
+		key := EdgeKey{From: e.from, To: e.to}
+		if _, dup := g.edgeAlpha[key]; dup {
+			return nil, fmt.Errorf("dag: duplicate edge %s→%s", g.names[e.from], g.names[e.to])
+		}
+		if g.kinds[e.from] == Sink {
+			return nil, fmt.Errorf("dag: sink %q cannot have outgoing edges", g.names[e.from])
+		}
+		if g.kinds[e.to] == Source {
+			return nil, fmt.Errorf("dag: source %q cannot have incoming edges", g.names[e.to])
+		}
+		switch g.kinds[e.from] {
+		case Source:
+			if e.h != nil {
+				return nil, fmt.Errorf("dag: edge %s→%s leaves a source and must not carry a throughput function", g.names[e.from], g.names[e.to])
+			}
+		case Operator:
+			if e.h == nil {
+				return nil, fmt.Errorf("dag: edge %s→%s leaves an operator and needs a throughput function", g.names[e.from], g.names[e.to])
+			}
+		}
+		if e.alpha < 0 || math.IsNaN(e.alpha) || math.IsInf(e.alpha, 0) {
+			return nil, fmt.Errorf("dag: edge %s→%s has invalid splitting weight %v", g.names[e.from], g.names[e.to], e.alpha)
+		}
+		g.preds[e.to] = append(g.preds[e.to], e.from)
+		g.succs[e.from] = append(g.succs[e.from], e.to)
+		g.edgeH[key] = e.h
+		g.edgeAlpha[key] = e.alpha
+	}
+
+	for id := 0; id < n; id++ {
+		nid := NodeID(id)
+		switch g.kinds[id] {
+		case Source:
+			if len(g.succs[id]) == 0 {
+				return nil, fmt.Errorf("dag: source %q has no successors", g.names[id])
+			}
+			g.srcIndex[nid] = len(g.sources)
+			g.sources = append(g.sources, nid)
+		case Operator:
+			if len(g.preds[id]) == 0 {
+				return nil, fmt.Errorf("dag: operator %q has no predecessors", g.names[id])
+			}
+			if len(g.succs[id]) == 0 {
+				return nil, fmt.Errorf("dag: operator %q has no successors", g.names[id])
+			}
+			g.opIndex[nid] = len(g.operators)
+			g.operators = append(g.operators, nid)
+		case Sink:
+			if len(g.preds[id]) == 0 {
+				return nil, fmt.Errorf("dag: sink %q has no predecessors", g.names[id])
+			}
+			g.sinks = append(g.sinks, nid)
+		}
+		if len(g.succs[id]) > 0 {
+			var sum float64
+			for _, s := range g.succs[id] {
+				sum += g.edgeAlpha[EdgeKey{From: nid, To: s}]
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return nil, fmt.Errorf("dag: splitting weights leaving %q sum to %v, want 1", g.names[id], sum)
+			}
+		}
+	}
+	if len(g.sinks) == 0 {
+		return nil, errors.New("dag: graph has no sink")
+	}
+	if len(g.sources) == 0 {
+		return nil, errors.New("dag: graph has no source")
+	}
+
+	topo, err := g.topoSort()
+	if err != nil {
+		return nil, err
+	}
+	g.topo = topo
+
+	if err := g.probe(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// topoSort runs Kahn's algorithm, returning an order or a cycle error.
+func (g *Graph) topoSort() ([]NodeID, error) {
+	n := len(g.names)
+	indeg := make([]int, n)
+	for id := 0; id < n; id++ {
+		indeg[id] = len(g.preds[id])
+	}
+	var queue []NodeID
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			queue = append(queue, NodeID(id))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, s := range g.succs[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, errors.New("dag: graph contains a cycle")
+	}
+	return order, nil
+}
+
+// probe runs a dummy evaluation to surface throughput-function dimension
+// mismatches at build time instead of first use.
+func (g *Graph) probe() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("dag: throughput function probe failed: %v", r)
+		}
+	}()
+	rates := make([]float64, len(g.sources))
+	for i := range rates {
+		rates[i] = 1
+	}
+	y := make([]float64, len(g.operators))
+	for i := range y {
+		y[i] = 1
+	}
+	_, err = g.Evaluate(rates, y)
+	return err
+}
+
+// NumOperators returns M, the number of operators.
+func (g *Graph) NumOperators() int { return len(g.operators) }
+
+// NumSources returns N, the number of sources.
+func (g *Graph) NumSources() int { return len(g.sources) }
+
+// Operators returns the operator node IDs in dense-index order.
+func (g *Graph) Operators() []NodeID { return append([]NodeID(nil), g.operators...) }
+
+// Sources returns the source node IDs in dense-index order.
+func (g *Graph) Sources() []NodeID { return append([]NodeID(nil), g.sources...) }
+
+// Sinks returns the sink node IDs.
+func (g *Graph) Sinks() []NodeID { return append([]NodeID(nil), g.sinks...) }
+
+// Name returns the node's name.
+func (g *Graph) Name(id NodeID) string { return g.names[id] }
+
+// KindOf returns the node's kind.
+func (g *Graph) KindOf(id NodeID) Kind { return g.kinds[id] }
+
+// OperatorIndex returns the dense index of an operator node (the position
+// of its capacity in capacity vectors), or -1 if id is not an operator.
+func (g *Graph) OperatorIndex(id NodeID) int {
+	if i, ok := g.opIndex[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// OperatorName returns the name of the operator with dense index i.
+func (g *Graph) OperatorName(i int) string { return g.names[g.operators[i]] }
+
+// Preds returns the ordered predecessor list of a node.
+func (g *Graph) Preds(id NodeID) []NodeID { return append([]NodeID(nil), g.preds[id]...) }
+
+// Succs returns the ordered successor list of a node.
+func (g *Graph) Succs(id NodeID) []NodeID { return append([]NodeID(nil), g.succs[id]...) }
+
+// Alpha returns the capacity-splitting weight of edge e.
+func (g *Graph) Alpha(e EdgeKey) float64 { return g.edgeAlpha[e] }
+
+// H returns the throughput function of edge e (nil for source edges).
+func (g *Graph) H(e EdgeKey) ThroughputFunc { return g.edgeH[e] }
+
+// FlowReport is the result of one steady-state evaluation of the DAG.
+type FlowReport struct {
+	// Throughput is f(y): the total inflow into sinks (tuples/s).
+	Throughput float64
+	// EdgeFlows maps each edge to its carried throughput.
+	EdgeFlows map[EdgeKey]float64
+	// Inflow[i] is the total throughput arriving at operator index i.
+	Inflow []float64
+	// Demand[i] is Σ_{j∈S_i} h_{i,j}(e_i): the output the operator would
+	// emit with unlimited capacity. l_i = Demand[i] − y[i] is the
+	// soft-constraint of Eq. 11.
+	Demand []float64
+	// Output[i] is the actual (capacity-truncated) total emitted.
+	Output []float64
+}
+
+func (g *Graph) checkEvalArgs(rates, y []float64) error {
+	if len(rates) != len(g.sources) {
+		return fmt.Errorf("dag: got %d source rates, want %d", len(rates), len(g.sources))
+	}
+	if len(y) != len(g.operators) {
+		return fmt.Errorf("dag: got %d capacities, want %d", len(y), len(g.operators))
+	}
+	for i, r := range rates {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("dag: source rate[%d] = %v invalid", i, r)
+		}
+	}
+	for i, c := range y {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("dag: capacity y[%d] = %v invalid", i, c)
+		}
+	}
+	return nil
+}
+
+// Evaluate computes the steady-state flows for given source rates (by
+// source index) and operator capacities y (by operator index), applying
+// the truncation of Eq. 4 along one topological pass.
+func (g *Graph) Evaluate(rates, y []float64) (*FlowReport, error) {
+	if err := g.checkEvalArgs(rates, y); err != nil {
+		return nil, err
+	}
+	rep := &FlowReport{
+		EdgeFlows: make(map[EdgeKey]float64, len(g.edgeAlpha)),
+		Inflow:    make([]float64, len(g.operators)),
+		Demand:    make([]float64, len(g.operators)),
+		Output:    make([]float64, len(g.operators)),
+	}
+	for _, id := range g.topo {
+		switch g.kinds[id] {
+		case Source:
+			rate := rates[g.srcIndex[id]]
+			for _, s := range g.succs[id] {
+				key := EdgeKey{From: id, To: s}
+				rep.EdgeFlows[key] = g.edgeAlpha[key] * rate
+			}
+		case Operator:
+			oi := g.opIndex[id]
+			in := make([]float64, len(g.preds[id]))
+			for k, p := range g.preds[id] {
+				in[k] = rep.EdgeFlows[EdgeKey{From: p, To: id}]
+				rep.Inflow[oi] += in[k]
+			}
+			for _, s := range g.succs[id] {
+				key := EdgeKey{From: id, To: s}
+				want := g.edgeH[key].Eval(in)
+				rep.Demand[oi] += want
+				flow := math.Min(g.edgeAlpha[key]*y[oi], want)
+				rep.EdgeFlows[key] = flow
+				rep.Output[oi] += flow
+			}
+		case Sink:
+			for _, p := range g.preds[id] {
+				rep.Throughput += rep.EdgeFlows[EdgeKey{From: p, To: id}]
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Throughput is shorthand for Evaluate(...).Throughput.
+func (g *Graph) Throughput(rates, y []float64) (float64, error) {
+	rep, err := g.Evaluate(rates, y)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Throughput, nil
+}
+
+// evalTape records the topological evaluation on an autodiff tape and
+// returns the taped application throughput f plus the per-operator demand
+// Σ_{j∈S_i} h_{i,j}(e_i) (the unconstrained desired output used by the
+// soft-constraints of Eq. 11).
+func (g *Graph) evalTape(t *autodiff.Tape, rates []float64, vars []autodiff.Value) (f autodiff.Value, demand []autodiff.Value) {
+	flows := make(map[EdgeKey]autodiff.Value, len(g.edgeAlpha))
+	demand = make([]autodiff.Value, len(g.operators))
+	total := t.Const(0)
+	for _, id := range g.topo {
+		switch g.kinds[id] {
+		case Source:
+			rate := rates[g.srcIndex[id]]
+			for _, s := range g.succs[id] {
+				key := EdgeKey{From: id, To: s}
+				flows[key] = t.Const(g.edgeAlpha[key] * rate)
+			}
+		case Operator:
+			oi := g.opIndex[id]
+			in := make([]autodiff.Value, len(g.preds[id]))
+			for k, p := range g.preds[id] {
+				in[k] = flows[EdgeKey{From: p, To: id}]
+			}
+			dem := t.Const(0)
+			for _, s := range g.succs[id] {
+				key := EdgeKey{From: id, To: s}
+				want := g.edgeH[key].EvalAD(t, in)
+				dem = dem.Add(want)
+				flows[key] = vars[oi].Scale(g.edgeAlpha[key]).Min(want)
+			}
+			demand[oi] = dem
+		case Sink:
+			for _, p := range g.preds[id] {
+				total = total.Add(flows[EdgeKey{From: p, To: id}])
+			}
+		}
+	}
+	return total, demand
+}
+
+// Gradient returns f(y) and ∂f/∂y_i for every operator, computed by taping
+// the topological evaluation with reverse-mode autodiff (the substitute
+// for the paper's PyTorch-autograd bottleneck identification).
+func (g *Graph) Gradient(rates, y []float64) (float64, []float64, error) {
+	if err := g.checkEvalArgs(rates, y); err != nil {
+		return 0, nil, err
+	}
+	val, grad := autodiff.Gradient(y, func(t *autodiff.Tape, vars []autodiff.Value) autodiff.Value {
+		f, _ := g.evalTape(t, rates, vars)
+		return f
+	})
+	return val, grad, nil
+}
+
+// LagrangianGradient returns the per-slot Lagrangian of Eq. 13,
+//
+//	L(y, λ) = f(y) − Σ_i λ_i · (demand_i(y) − y_i),
+//
+// and its gradient with respect to y. The online saddle point and online
+// gradient descent algorithms maximize this over y.
+func (g *Graph) LagrangianGradient(rates, y, lambda []float64) (float64, []float64, error) {
+	if err := g.checkEvalArgs(rates, y); err != nil {
+		return 0, nil, err
+	}
+	if len(lambda) != len(g.operators) {
+		return 0, nil, fmt.Errorf("dag: got %d multipliers, want %d", len(lambda), len(g.operators))
+	}
+	for i, l := range lambda {
+		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			return 0, nil, fmt.Errorf("dag: multiplier λ[%d] = %v invalid", i, l)
+		}
+	}
+	val, grad := autodiff.Gradient(y, func(t *autodiff.Tape, vars []autodiff.Value) autodiff.Value {
+		f, demand := g.evalTape(t, rates, vars)
+		out := f
+		for i, dem := range demand {
+			if lambda[i] == 0 {
+				continue
+			}
+			// −λ_i·(demand_i − y_i)
+			out = out.Sub(dem.Sub(vars[i]).Scale(lambda[i]))
+		}
+		return out
+	})
+	return val, grad, nil
+}

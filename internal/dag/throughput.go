@@ -1,0 +1,184 @@
+// Package dag models a stream-processing application as a directed acyclic
+// graph of sources, operators and a sink (§4.1 of the Dragster paper). It
+// provides the throughput functions h_{i,j} of Eq. 2, evaluation of the
+// application throughput f_t(y) under capacity truncation (Eq. 4), and its
+// gradient ∂f/∂y_i via reverse-mode autodiff — the quantity Dragster uses to
+// identify bottleneck operators.
+package dag
+
+import (
+	"fmt"
+	"math"
+
+	"dragster/internal/autodiff"
+)
+
+// ThroughputFunc is the input→output throughput mapping h_{i,j} of an edge
+// (Eq. 3). Implementations must be increasing and concave in each input,
+// per the paper's modelling assumption, and must implement both a plain
+// float evaluation and a taped evaluation so gradients can flow.
+type ThroughputFunc interface {
+	// Eval maps the input throughput vector (ordered like the operator's
+	// predecessor list) to the emitted throughput on this edge.
+	Eval(inputs []float64) float64
+	// EvalAD is Eval recorded on an autodiff tape.
+	EvalAD(t *autodiff.Tape, inputs []autodiff.Value) autodiff.Value
+	// Name identifies the functional form for logs and persistence.
+	Name() string
+}
+
+// Linear is Eq. 2a: h(e) = k · e (inner product with a constant rate
+// vector). With a single input it reduces to a selectivity factor.
+type Linear struct {
+	K []float64
+}
+
+// NewLinear validates the rate vector and returns the function. Every
+// component must be non-negative to preserve monotonicity.
+func NewLinear(k ...float64) (Linear, error) {
+	if len(k) == 0 {
+		return Linear{}, fmt.Errorf("dag: Linear needs at least one rate")
+	}
+	for _, v := range k {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return Linear{}, fmt.Errorf("dag: Linear rate %v is not a non-negative finite number", v)
+		}
+	}
+	return Linear{K: append([]float64(nil), k...)}, nil
+}
+
+// Eval implements ThroughputFunc.
+func (l Linear) Eval(in []float64) float64 {
+	l.check(len(in))
+	var s float64
+	for i, v := range in {
+		s += l.K[i] * v
+	}
+	return s
+}
+
+// EvalAD implements ThroughputFunc.
+func (l Linear) EvalAD(_ *autodiff.Tape, in []autodiff.Value) autodiff.Value {
+	l.check(len(in))
+	return autodiff.Dot(l.K, in)
+}
+
+// Name implements ThroughputFunc.
+func (l Linear) Name() string { return "linear" }
+
+func (l Linear) check(n int) {
+	if n != len(l.K) {
+		panic(fmt.Sprintf("dag: Linear expects %d inputs, got %d", len(l.K), n))
+	}
+}
+
+// MinRate is Eq. 2b: h(e) = min(k ∘ e) — the output follows the bottleneck
+// predecessor. This is the natural form for join-like operators that need
+// one tuple from each input.
+type MinRate struct {
+	K []float64
+}
+
+// NewMinRate validates the weight vector and returns the function.
+func NewMinRate(k ...float64) (MinRate, error) {
+	if len(k) == 0 {
+		return MinRate{}, fmt.Errorf("dag: MinRate needs at least one weight")
+	}
+	for _, v := range k {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return MinRate{}, fmt.Errorf("dag: MinRate weight %v is not a non-negative finite number", v)
+		}
+	}
+	return MinRate{K: append([]float64(nil), k...)}, nil
+}
+
+// Eval implements ThroughputFunc.
+func (m MinRate) Eval(in []float64) float64 {
+	m.check(len(in))
+	out := math.Inf(1)
+	for i, v := range in {
+		if w := m.K[i] * v; w < out {
+			out = w
+		}
+	}
+	return out
+}
+
+// EvalAD implements ThroughputFunc.
+func (m MinRate) EvalAD(_ *autodiff.Tape, in []autodiff.Value) autodiff.Value {
+	m.check(len(in))
+	out := in[0].Scale(m.K[0])
+	for i := 1; i < len(in); i++ {
+		out = out.Min(in[i].Scale(m.K[i]))
+	}
+	return out
+}
+
+// Name implements ThroughputFunc.
+func (m MinRate) Name() string { return "min-rate" }
+
+func (m MinRate) check(n int) {
+	if n != len(m.K) {
+		panic(fmt.Sprintf("dag: MinRate expects %d inputs, got %d", len(m.K), n))
+	}
+}
+
+// Tanh is Eq. 2c: h(e) = k1 · tanh(k · e), a saturating concave mapping a
+// user can fit online when the operator logic is unknown.
+type Tanh struct {
+	K1 float64
+	K  []float64
+}
+
+// NewTanh validates the parameters and returns the function.
+func NewTanh(k1 float64, k ...float64) (Tanh, error) {
+	if k1 <= 0 || math.IsNaN(k1) || math.IsInf(k1, 0) {
+		return Tanh{}, fmt.Errorf("dag: Tanh amplitude %v must be a positive finite number", k1)
+	}
+	if len(k) == 0 {
+		return Tanh{}, fmt.Errorf("dag: Tanh needs at least one rate")
+	}
+	for _, v := range k {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return Tanh{}, fmt.Errorf("dag: Tanh rate %v is not a non-negative finite number", v)
+		}
+	}
+	return Tanh{K1: k1, K: append([]float64(nil), k...)}, nil
+}
+
+// Eval implements ThroughputFunc.
+func (t Tanh) Eval(in []float64) float64 {
+	t.check(len(in))
+	var s float64
+	for i, v := range in {
+		s += t.K[i] * v
+	}
+	return t.K1 * math.Tanh(s)
+}
+
+// EvalAD implements ThroughputFunc.
+func (t Tanh) EvalAD(_ *autodiff.Tape, in []autodiff.Value) autodiff.Value {
+	t.check(len(in))
+	return autodiff.Dot(t.K, in).Tanh().Scale(t.K1)
+}
+
+// Name implements ThroughputFunc.
+func (t Tanh) Name() string { return "tanh" }
+
+func (t Tanh) check(n int) {
+	if n != len(t.K) {
+		panic(fmt.Sprintf("dag: Tanh expects %d inputs, got %d", len(t.K), n))
+	}
+}
+
+// Selectivity returns the one-input Linear h(e) = s·e, the most common case
+// (a map/filter/flatMap stage emitting s output tuples per input tuple).
+// It panics if s is negative or non-finite, since that is always a
+// programming error in workload construction.
+func Selectivity(s float64) Linear {
+	l, err := NewLinear(s)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

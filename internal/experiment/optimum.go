@@ -1,0 +1,223 @@
+// Package experiment is the harness that reproduces the paper's
+// evaluation: it drives an Autoscaler policy against the simulated
+// Flink-on-Kubernetes stack slot by slot, computes ground-truth optimal
+// configurations for convergence and regret accounting, and formats the
+// per-table/per-figure outputs.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dragster/internal/workload"
+)
+
+// Optimum describes the best achievable steady state for one offered-load
+// vector.
+type Optimum struct {
+	Tasks      []int
+	Throughput float64 // noise-free steady-state tuples/s at the sink
+	TotalTasks int
+}
+
+// SteadyThroughput evaluates the noise-free steady-state application
+// throughput of a task vector under the spec's hidden capacity curves.
+func SteadyThroughput(spec *workload.Spec, rates []float64, tasks []int) (float64, error) {
+	if len(tasks) != spec.Graph.NumOperators() {
+		return 0, fmt.Errorf("experiment: got %d task counts, want %d", len(tasks), spec.Graph.NumOperators())
+	}
+	caps := make([]float64, len(tasks))
+	for i, n := range tasks {
+		caps[i] = spec.Models[i].Capacity(n)
+	}
+	return spec.Graph.Throughput(rates, caps)
+}
+
+// OptimalConfig finds the task vector (1..spec.MaxTasks per operator,
+// Σ tasks ≤ budget when budget > 0) that maximizes steady-state
+// throughput, breaking throughput ties in favour of fewer total tasks
+// (the economical optimum the paper's cost analysis refers to).
+//
+// Without a budget the search is a greedy topological pass (exact for the
+// monotone tree-shaped workloads in the suite: each operator takes the
+// smallest parallelism covering its demand). With a budget it is an
+// exhaustive grid search up to 3 operators and coordinate ascent from the
+// greedy point beyond that.
+func OptimalConfig(spec *workload.Spec, rates []float64, budget int) (*Optimum, error) {
+	m := spec.Graph.NumOperators()
+	if len(rates) != spec.Graph.NumSources() {
+		return nil, fmt.Errorf("experiment: got %d rates, want %d", len(rates), spec.Graph.NumSources())
+	}
+	if budget < 0 {
+		return nil, errors.New("experiment: negative budget")
+	}
+	if budget > 0 && budget < m {
+		return nil, fmt.Errorf("experiment: budget %d cannot host %d operators", budget, m)
+	}
+
+	if budget == 0 {
+		return greedyOptimum(spec, rates)
+	}
+	if math.Pow(float64(spec.MaxTasks), float64(m)) <= 1e6 {
+		return exhaustiveOptimum(spec, rates, budget)
+	}
+	return coordinateAscentOptimum(spec, rates, budget)
+}
+
+// greedyOptimum walks the DAG in topological order giving every operator
+// the smallest parallelism whose capacity covers its demand (or MaxTasks
+// when unreachable, truncating downstream flow).
+func greedyOptimum(spec *workload.Spec, rates []float64) (*Optimum, error) {
+	m := spec.Graph.NumOperators()
+	tasks := make([]int, m)
+	caps := make([]float64, m)
+	for i := 0; i < m; i++ {
+		tasks[i] = spec.MaxTasks
+		caps[i] = spec.Models[i].Capacity(spec.MaxTasks)
+	}
+	// Demand with maximal capacity everywhere gives each operator's
+	// requirement; then shrink operators one topological level at a time.
+	// Because flows only depend on upstream capacities, a single pass in
+	// operator (topological) order is exact.
+	for i := 0; i < m; i++ {
+		rep, err := spec.Graph.Evaluate(rates, caps)
+		if err != nil {
+			return nil, err
+		}
+		need := rep.Demand[i]
+		chosen := spec.MaxTasks
+		for n := 1; n <= spec.MaxTasks; n++ {
+			if spec.Models[i].Capacity(n) >= need {
+				chosen = n
+				break
+			}
+		}
+		tasks[i] = chosen
+		caps[i] = spec.Models[i].Capacity(chosen)
+	}
+	th, err := spec.Graph.Throughput(rates, caps)
+	if err != nil {
+		return nil, err
+	}
+	return &Optimum{Tasks: tasks, Throughput: th, TotalTasks: sum(tasks)}, nil
+}
+
+// exhaustiveOptimum enumerates the full grid under the budget.
+func exhaustiveOptimum(spec *workload.Spec, rates []float64, budget int) (*Optimum, error) {
+	m := spec.Graph.NumOperators()
+	tasks := make([]int, m)
+	for i := range tasks {
+		tasks[i] = 1
+	}
+	best := &Optimum{Throughput: -1}
+	caps := make([]float64, m)
+	for {
+		if total := sum(tasks); total <= budget {
+			for i, n := range tasks {
+				caps[i] = spec.Models[i].Capacity(n)
+			}
+			th, err := spec.Graph.Throughput(rates, caps)
+			if err != nil {
+				return nil, err
+			}
+			if th > best.Throughput+1e-9 ||
+				(math.Abs(th-best.Throughput) <= 1e-9 && total < best.TotalTasks) {
+				best = &Optimum{Tasks: append([]int(nil), tasks...), Throughput: th, TotalTasks: total}
+			}
+		}
+		// Odometer increment.
+		i := 0
+		for ; i < m; i++ {
+			tasks[i]++
+			if tasks[i] <= spec.MaxTasks {
+				break
+			}
+			tasks[i] = 1
+		}
+		if i == m {
+			break
+		}
+	}
+	if best.Throughput < 0 {
+		return nil, errors.New("experiment: no feasible configuration")
+	}
+	return best, nil
+}
+
+// coordinateAscentOptimum starts from the budget-projected greedy solution
+// and locally moves single tasks between operators while throughput
+// improves. Heuristic, used only for >3-operator budgeted searches (not
+// needed by any paper experiment, which budget only WordCount).
+func coordinateAscentOptimum(spec *workload.Spec, rates []float64, budget int) (*Optimum, error) {
+	g, err := greedyOptimum(spec, rates)
+	if err != nil {
+		return nil, err
+	}
+	m := len(g.Tasks)
+	tasks := append([]int(nil), g.Tasks...)
+	// Project onto the budget by trimming the largest allocations first.
+	for sum(tasks) > budget {
+		maxI := 0
+		for i := 1; i < m; i++ {
+			if tasks[i] > tasks[maxI] {
+				maxI = i
+			}
+		}
+		if tasks[maxI] == 1 {
+			return nil, errors.New("experiment: budget infeasible")
+		}
+		tasks[maxI]--
+	}
+	cur, err := SteadyThroughput(spec, rates, tasks)
+	if err != nil {
+		return nil, err
+	}
+	improved := true
+	for improved {
+		improved = false
+		for from := 0; from < m; from++ {
+			for to := 0; to < m; to++ {
+				if from == to || tasks[from] <= 1 || tasks[to] >= spec.MaxTasks {
+					continue
+				}
+				tasks[from]--
+				tasks[to]++
+				th, err := SteadyThroughput(spec, rates, tasks)
+				if err != nil {
+					return nil, err
+				}
+				if th > cur+1e-9 {
+					cur = th
+					improved = true
+				} else {
+					tasks[from]++
+					tasks[to]--
+				}
+			}
+		}
+		// Also try freeing unused tasks (economy tie-break).
+		for i := 0; i < m; i++ {
+			for tasks[i] > 1 {
+				tasks[i]--
+				th, err := SteadyThroughput(spec, rates, tasks)
+				if err != nil {
+					return nil, err
+				}
+				if th < cur-1e-9 {
+					tasks[i]++
+					break
+				}
+			}
+		}
+	}
+	return &Optimum{Tasks: tasks, Throughput: cur, TotalTasks: sum(tasks)}, nil
+}
+
+func sum(xs []int) int {
+	var s int
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

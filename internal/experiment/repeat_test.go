@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dragster/internal/workload"
+)
+
+func TestRepeatAggregates(t *testing.T) {
+	spec := wordcount(t)
+	rates, err := workload.Constant(spec.HighRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Repeat(Scenario{
+		Spec:        spec,
+		Rates:       rates,
+		Slots:       12,
+		SlotSeconds: 60,
+	}, DragsterSaddle(), Seeds(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Runs) != 4 {
+		t.Fatalf("runs = %d", len(rr.Runs))
+	}
+	if rr.ConvergenceMinutes.N+rr.Unconverged != 4 {
+		t.Errorf("convergence accounting: %d + %d ≠ 4", rr.ConvergenceMinutes.N, rr.Unconverged)
+	}
+	if rr.ConvergenceMinutes.N == 0 {
+		t.Fatal("no seed converged")
+	}
+	if rr.ProcessedTuples.Mean <= 0 || rr.CostPerBillion.Mean <= 0 {
+		t.Errorf("aggregates: %+v", rr)
+	}
+	if rr.ProcessedTuples.Min > rr.ProcessedTuples.Max {
+		t.Error("min above max")
+	}
+	if rr.ProcessedTuples.Std < 0 || math.IsNaN(rr.ProcessedTuples.Std) {
+		t.Errorf("std = %v", rr.ProcessedTuples.Std)
+	}
+	// Seeds must actually vary the runs (cloud noise differs).
+	if rr.ProcessedTuples.Min == rr.ProcessedTuples.Max {
+		t.Error("all seeds produced identical totals — noise not applied?")
+	}
+	if !strings.Contains(rr.ProcessedTuples.String(), "±") {
+		t.Errorf("Aggregate.String = %q", rr.ProcessedTuples.String())
+	}
+}
+
+func TestRepeatValidation(t *testing.T) {
+	spec := wordcount(t)
+	rates, err := workload.Constant(spec.HighRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Repeat(Scenario{Spec: spec, Rates: rates, Slots: 1}, DragsterSaddle(), nil); err == nil {
+		t.Error("empty seed list accepted")
+	}
+	if got := Seeds(3); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Seeds(3) = %v", got)
+	}
+	zero := aggregate(nil)
+	if zero.N != 0 || zero.Mean != 0 {
+		t.Errorf("empty aggregate = %+v", zero)
+	}
+}

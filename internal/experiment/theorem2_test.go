@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"dragster/internal/workload"
+)
+
+func TestTheorem2LearnedMatchesExactOrder(t *testing.T) {
+	r, err := Theorem2Run(0.5, 25, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LearnerSamples == 0 {
+		t.Fatal("learner consumed no samples")
+	}
+	// The selectivity must be recovered from a 2× wrong prior.
+	if math.Abs(r.LearnedK-r.TrueK) > 0.15 {
+		t.Errorf("learned k = %v, want ≈%v (prior %v)", r.LearnedK, r.TrueK, r.PriorK)
+	}
+	// Theorem 2: same order of regret — allow a constant factor.
+	if r.ExactRegret > 0 && r.LearnedRegret > 25*r.ExactRegret {
+		t.Errorf("learned regret %v ≫ exact %v", r.LearnedRegret, r.ExactRegret)
+	}
+	if r.LearnedConvMin < 0 {
+		t.Error("learned-h run never converged")
+	}
+	if _, err := Theorem2Run(0, 10, 60, 1); err == nil {
+		t.Error("zero prior scale accepted")
+	}
+}
+
+func TestLatencyLowerForDragsterDuringRamp(t *testing.T) {
+	// The bounded-buffer claim: during the initial ramp Dhalion's slow
+	// walk accumulates much more backlog (and therefore latency) than
+	// Dragster's jump.
+	spec := wordcount(t)
+	rates, err := workload.Constant(spec.HighRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(f PolicyFactory) float64 {
+		res, err := Run(Scenario{Spec: spec, Rates: rates, Slots: 20, SlotSeconds: 60, Seed: 5}, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return MeanLatency(res)
+	}
+	dh := run(DhalionPolicy())
+	dr := run(DragsterSaddle())
+	if dr >= dh {
+		t.Errorf("dragster latency %v not below dhalion %v", dr, dh)
+	}
+	if dh <= 0 {
+		t.Error("dhalion ramp produced no measurable latency")
+	}
+}

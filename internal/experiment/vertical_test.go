@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"testing"
+
+	"dragster/internal/workload"
+)
+
+// TestVerticalScalingEndToEnd drives the full 2-D path: Dragster searches
+// (tasks × per-pod CPU), the Flink layer applies both HPA and VPA
+// dimensions, and the run sustains the offered load.
+func TestVerticalScalingEndToEnd(t *testing.T) {
+	spec, err := workload.WordCount2D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := workload.Constant(spec.LowRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Scenario{
+		Spec:            spec,
+		Rates:           rates,
+		Slots:           25,
+		SlotSeconds:     60,
+		Seed:            4,
+		VerticalScaling: true,
+	}, DragsterSaddle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.Trace[len(res.Trace)-1]
+	// Demand at the low rate: 40 ktuples/s at the sink.
+	if final.SteadyThroughput < 0.85*40000 {
+		t.Errorf("2-D run did not sustain the load: %v", final.SteadyThroughput)
+	}
+	// The controller must actually have explored the CPU axis at some
+	// point (otherwise the feature is dead weight): look for any slot
+	// whose cost accrual deviates from the all-1000m trajectory — proxied
+	// by the run completing with non-default CPU on at least one slot.
+	// The job's final CPU allocation is visible through cost: a 500m pod
+	// costs half. We assert indirectly: cost-per-billion must not exceed
+	// the 1-D equivalent materially.
+	oneD, err := Run(Scenario{
+		Spec:        spec,
+		Rates:       rates,
+		Slots:       25,
+		SlotSeconds: 60,
+		Seed:        4,
+	}, DragsterSaddle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := CostPerBillion(res)
+	c1 := CostPerBillion(oneD)
+	if c2 > 1.15*c1 {
+		t.Errorf("vertical scaling made things worse: $%.2f vs $%.2f per 1e9", c2, c1)
+	}
+}
+
+func TestVerticalScalingRejectsWithoutResourceAwareModels(t *testing.T) {
+	// Plain WordCount models ignore CPU; the run still works (the CPU
+	// axis is inert) — this documents the graceful-degradation behaviour.
+	spec, err := workload.WordCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := workload.Constant(spec.LowRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Scenario{
+		Spec:            spec,
+		Rates:           rates,
+		Slots:           8,
+		SlotSeconds:     60,
+		Seed:            4,
+		VerticalScaling: true,
+	}, DragsterSaddle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 8 {
+		t.Fatalf("trace length %d", len(res.Trace))
+	}
+}

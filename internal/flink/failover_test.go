@@ -1,0 +1,91 @@
+package flink
+
+import (
+	"testing"
+
+	"dragster/internal/cluster"
+)
+
+// TestNodeFailureDegradesAndRecovers drives the full failure path: a node
+// dies mid-run, the TaskManager pods on it go Pending, the dataflow loses
+// parallelism (throughput drops), and once a replacement node joins the
+// pods reschedule and throughput recovers.
+func TestNodeFailureDegradesAndRecovers(t *testing.T) {
+	k8s := cluster.New()
+	// Two 3-core nodes: JobManager (1 core) + 4 TM pods fill them.
+	if err := k8s.AddNodes("n", 2, cluster.ResourceSpec{CPUMilli: 3000, MemoryMB: 6144}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(k8s, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := chainGraph(t)
+	j, err := s.SubmitJob("wc", g, newEngine(t, g, 150), []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := func(int) []float64 { return []float64{100} }
+
+	rep, err := j.RunSlot(60, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := rep.Throughput
+	if healthy < 190 { // map 2×150=300 ≥ demand 200
+		t.Fatalf("healthy throughput = %v", healthy)
+	}
+
+	// Kill the node NOT hosting the JobManager.
+	victim := ""
+	for _, p := range k8s.Pods() {
+		if p.Deployment != "flink-jobmanager" && p.NodeName != "" {
+			jmNode := ""
+			for _, q := range k8s.Pods() {
+				if q.Deployment == "flink-jobmanager" {
+					jmNode = q.NodeName
+				}
+			}
+			if p.NodeName != jmNode {
+				victim = p.NodeName
+				break
+			}
+		}
+	}
+	if victim == "" {
+		t.Fatal("no TM-only node found")
+	}
+	if err := k8s.RemoveNode(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err = j.RunSlot(60, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput >= healthy {
+		t.Errorf("throughput did not degrade after node failure: %v vs %v", rep.Throughput, healthy)
+	}
+	eff := j.EffectiveParallelism()
+	if eff[0]+eff[1] >= 4 {
+		t.Errorf("effective parallelism did not drop: %v", eff)
+	}
+
+	// Replacement capacity arrives; the next slot recovers (with backlog
+	// catch-up possibly pushing throughput above steady state).
+	if err := k8s.AddNode("replacement", cluster.ResourceSpec{CPUMilli: 4000, MemoryMB: 8192}); err != nil {
+		t.Fatal(err)
+	}
+	k8s.Tick(1)
+	rep, err = j.RunSlot(120, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput < healthy {
+		t.Errorf("throughput did not recover: %v vs healthy %v", rep.Throughput, healthy)
+	}
+	eff = j.EffectiveParallelism()
+	if eff[0] != 2 || eff[1] != 2 {
+		t.Errorf("parallelism after recovery = %v, want [2 2]", eff)
+	}
+}

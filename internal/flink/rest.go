@@ -1,0 +1,73 @@
+package flink
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// RESTHandler exposes the JobManager monitoring REST API surface the Job
+// Monitor scrapes (the paper's implementation polls Flink's REST API over
+// HTTP; tests and the monitor's HTTP source exercise this handler):
+//
+//	GET /jobs                     → {"jobs": ["<name>", ...]}
+//	GET /jobs/<name>              → latest SlotReport
+//	GET /jobs/<name>/vertices     → latest []VertexStats
+type RESTHandler struct {
+	session *SessionCluster
+}
+
+// NewRESTHandler wraps a session cluster.
+func NewRESTHandler(s *SessionCluster) *RESTHandler { return &RESTHandler{session: s} }
+
+// ServeHTTP implements http.Handler.
+func (h *RESTHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	switch {
+	case path == "/jobs":
+		h.listJobs(w)
+	case strings.HasPrefix(path, "/jobs/"):
+		rest := strings.TrimPrefix(path, "/jobs/")
+		parts := strings.Split(rest, "/")
+		job := h.session.job
+		if job == nil || len(parts) == 0 || parts[0] != job.name {
+			http.Error(w, "job not found", http.StatusNotFound)
+			return
+		}
+		rep := job.LastReport()
+		if rep == nil {
+			http.Error(w, "no slot report yet", http.StatusServiceUnavailable)
+			return
+		}
+		switch {
+		case len(parts) == 1:
+			writeJSON(w, rep)
+		case len(parts) == 2 && parts[1] == "vertices":
+			writeJSON(w, rep.Vertices)
+		default:
+			http.Error(w, "not found", http.StatusNotFound)
+		}
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+func (h *RESTHandler) listJobs(w http.ResponseWriter) {
+	names := []string{}
+	if h.session.job != nil {
+		names = append(names, h.session.job.name)
+	}
+	writeJSON(w, map[string][]string{"jobs": names})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing sensible left to do.
+		return
+	}
+}

@@ -1,0 +1,309 @@
+// Package flink models the Apache Flink 1.10 session cluster the paper
+// deploys on Kubernetes: a JobManager pod, one TaskManager deployment per
+// operator (each running pod provides one task slot), savepoint-based
+// rescaling with a stop-and-resume pause, and a monitoring REST API.
+//
+// The actual dataflow dynamics are delegated to a streamsim.Engine; this
+// package owns the orchestration surface Dragster interacts with.
+package flink
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"dragster/internal/cluster"
+	"dragster/internal/dag"
+	"dragster/internal/streamsim"
+	"dragster/internal/telemetry"
+)
+
+// Options configures a session cluster.
+type Options struct {
+	// TaskManagerSpec is the pod template of every TaskManager (the paper
+	// uses 1 CPU / 2 GB per slot).
+	TaskManagerSpec cluster.ResourceSpec
+	// JobManagerSpec is the JobManager pod template.
+	JobManagerSpec cluster.ResourceSpec
+	// RescalePauseSeconds is the savepoint stop-and-resume cost charged on
+	// every configuration change (the paper measures ≈30 s).
+	RescalePauseSeconds int
+}
+
+// DefaultOptions mirrors the paper's setup.
+func DefaultOptions() Options {
+	return Options{
+		TaskManagerSpec:     cluster.ResourceSpec{CPUMilli: 1000, MemoryMB: 2048},
+		JobManagerSpec:      cluster.ResourceSpec{CPUMilli: 1000, MemoryMB: 2048},
+		RescalePauseSeconds: 30,
+	}
+}
+
+// SessionCluster hosts one Flink job on a Kubernetes cluster.
+type SessionCluster struct {
+	k8s  *cluster.Cluster
+	opts Options
+	job  *Job
+}
+
+// NewSession creates the session cluster and its JobManager deployment.
+func NewSession(k8s *cluster.Cluster, opts Options) (*SessionCluster, error) {
+	if k8s == nil {
+		return nil, errors.New("flink: nil cluster")
+	}
+	if err := opts.TaskManagerSpec.Validate(); err != nil {
+		return nil, fmt.Errorf("flink: task manager spec: %w", err)
+	}
+	if err := opts.JobManagerSpec.Validate(); err != nil {
+		return nil, fmt.Errorf("flink: job manager spec: %w", err)
+	}
+	if opts.RescalePauseSeconds < 0 {
+		return nil, errors.New("flink: negative rescale pause")
+	}
+	if err := k8s.CreateDeployment("flink-jobmanager", opts.JobManagerSpec, 1); err != nil {
+		return nil, err
+	}
+	if k8s.RunningPods("flink-jobmanager") != 1 {
+		return nil, errors.New("flink: cluster cannot schedule the JobManager pod")
+	}
+	return &SessionCluster{k8s: k8s, opts: opts}, nil
+}
+
+// Cluster returns the underlying Kubernetes cluster.
+func (s *SessionCluster) Cluster() *cluster.Cluster { return s.k8s }
+
+// Job is a running Flink application.
+type Job struct {
+	name    string
+	session *SessionCluster
+	graph   *dag.Graph
+	engine  *streamsim.Engine
+
+	desired     []int    // desired parallelism per operator index
+	deployments []string // TaskManager deployment per operator index
+
+	slot       int
+	lastReport *SlotReport
+}
+
+// SubmitJob deploys a job: one TaskManager deployment per operator with
+// the initial parallelism, wired to the supplied simulation engine. A
+// session hosts at most one job (matching the paper's per-application
+// session clusters).
+func (s *SessionCluster) SubmitJob(name string, g *dag.Graph, engine *streamsim.Engine, initial []int) (*Job, error) {
+	if s.job != nil {
+		return nil, fmt.Errorf("flink: session already hosts job %q", s.job.name)
+	}
+	if g == nil || engine == nil {
+		return nil, errors.New("flink: nil graph or engine")
+	}
+	if len(initial) != g.NumOperators() {
+		return nil, fmt.Errorf("flink: got %d initial parallelisms, want %d", len(initial), g.NumOperators())
+	}
+	j := &Job{
+		name:        name,
+		session:     s,
+		graph:       g,
+		engine:      engine,
+		desired:     append([]int(nil), initial...),
+		deployments: make([]string, g.NumOperators()),
+	}
+	for i := 0; i < g.NumOperators(); i++ {
+		if initial[i] < 1 {
+			return nil, fmt.Errorf("flink: operator %d needs at least one task", i)
+		}
+		dep := deploymentName(name, g.OperatorName(i))
+		if err := s.k8s.CreateDeployment(dep, s.opts.TaskManagerSpec, initial[i]); err != nil {
+			return nil, err
+		}
+		j.deployments[i] = dep
+	}
+	if err := j.syncEngineTasks(); err != nil {
+		return nil, err
+	}
+	s.job = j
+	return j, nil
+}
+
+func deploymentName(job, op string) string {
+	san := strings.ToLower(strings.ReplaceAll(op, " ", "-"))
+	return fmt.Sprintf("tm-%s-%s", strings.ToLower(job), san)
+}
+
+// Name returns the job name.
+func (j *Job) Name() string { return j.name }
+
+// Graph returns the application DAG.
+func (j *Job) Graph() *dag.Graph { return j.graph }
+
+// Parallelism returns the desired parallelism vector.
+func (j *Job) Parallelism() []int { return append([]int(nil), j.desired...) }
+
+// EffectiveParallelism returns the Running TaskManager pods per operator —
+// what the dataflow actually gets, which can fall short of the desired
+// vector when the cluster is out of capacity.
+func (j *Job) EffectiveParallelism() []int {
+	out := make([]int, len(j.deployments))
+	for i, dep := range j.deployments {
+		out[i] = j.session.k8s.RunningPods(dep)
+	}
+	return out
+}
+
+// Rescale applies a new desired parallelism vector. When anything changes
+// it scales the TaskManager deployments and charges the savepoint
+// stop-and-resume pause. A no-op rescale costs nothing.
+func (j *Job) Rescale(parallelism []int) error {
+	return j.RescaleResources(parallelism, nil)
+}
+
+// RescaleResources applies a new parallelism vector and, when cpuMilli is
+// non-nil, new per-pod CPU allocations (the VPA dimension of the paper's
+// configuration vector). CPU changes trigger a rolling pod replacement
+// plus the savepoint pause.
+func (j *Job) RescaleResources(parallelism []int, cpuMilli []int) error {
+	if len(parallelism) != len(j.desired) {
+		return fmt.Errorf("flink: got %d parallelisms, want %d", len(parallelism), len(j.desired))
+	}
+	if cpuMilli != nil && len(cpuMilli) != len(j.desired) {
+		return fmt.Errorf("flink: got %d CPU allocations, want %d", len(cpuMilli), len(j.desired))
+	}
+	changed := false
+	for i, p := range parallelism {
+		if p < 1 {
+			return fmt.Errorf("flink: operator %d needs at least one task", i)
+		}
+		if p != j.desired[i] {
+			changed = true
+		}
+	}
+	if cpuMilli != nil {
+		for i, cpu := range cpuMilli {
+			if cpu < 100 {
+				return fmt.Errorf("flink: operator %d CPU %dm below the 100m floor", i, cpu)
+			}
+			if cur, ok := j.session.k8s.DeploymentSpec(j.deployments[i]); ok && cur.CPUMilli != cpu {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		return nil
+	}
+	for i := range j.desired {
+		if cpuMilli != nil {
+			if cur, ok := j.session.k8s.DeploymentSpec(j.deployments[i]); ok && cur.CPUMilli != cpuMilli[i] {
+				spec := cur
+				spec.CPUMilli = cpuMilli[i]
+				if err := j.session.k8s.Resize(j.deployments[i], spec); err != nil {
+					return err
+				}
+			}
+		}
+		if parallelism[i] != j.desired[i] {
+			if err := j.session.k8s.Scale(j.deployments[i], parallelism[i]); err != nil {
+				return err
+			}
+			j.desired[i] = parallelism[i]
+		}
+	}
+	if err := j.syncEngineTasks(); err != nil {
+		return err
+	}
+	j.engine.Pause(j.session.opts.RescalePauseSeconds)
+	return nil
+}
+
+// EffectiveCPUMilli returns each operator's current per-pod CPU template.
+func (j *Job) EffectiveCPUMilli() []int {
+	out := make([]int, len(j.deployments))
+	for i, dep := range j.deployments {
+		if spec, ok := j.session.k8s.DeploymentSpec(dep); ok {
+			out[i] = spec.CPUMilli
+		}
+	}
+	return out
+}
+
+func (j *Job) syncEngineTasks() error {
+	if err := j.engine.SetTasks(j.EffectiveParallelism()); err != nil {
+		return err
+	}
+	return j.engine.SetCPU(j.EffectiveCPUMilli())
+}
+
+// VertexStats is the per-operator view a slot report exposes (the Flink
+// REST API vertex payload). Alias of the shared telemetry type.
+type VertexStats = telemetry.VertexStats
+
+// SlotReport summarizes one decision slot of job execution. Alias of the
+// shared telemetry type.
+type SlotReport = telemetry.SlotReport
+
+// RunSlot advances the job by `seconds` ticks at the offered rates
+// returned by rateAt (called with the second offset within the slot) and
+// returns the slot report. It also feeds per-pod CPU usage to the
+// Kubernetes metrics server so HPA/VPA and the Job Monitor see live data.
+func (j *Job) RunSlot(seconds int, rateAt func(sec int) []float64) (*SlotReport, error) {
+	// Re-sync the dataflow with the pods that are actually Running: node
+	// failures or freed capacity between slots change the effective
+	// parallelism without a Rescale call.
+	if err := j.syncEngineTasks(); err != nil {
+		return nil, err
+	}
+	j.engine.BeginSlot()
+	acc, err := telemetry.NewSlotAccumulator(j.name, j.slot, j.graph.NumOperators(), j.graph.NumSources(), seconds)
+	if err != nil {
+		return nil, fmt.Errorf("flink: %w", err)
+	}
+	droppedBefore := j.engine.DroppedTotal()
+	for sec := 0; sec < seconds; sec++ {
+		rates := rateAt(sec)
+		st, err := j.engine.Tick(rates)
+		if err != nil {
+			return nil, err
+		}
+		if err := acc.Tick(rates, st); err != nil {
+			return nil, err
+		}
+		j.reportPodUsage(st.Ops)
+		j.session.k8s.Tick(1)
+	}
+	names := make([]string, j.graph.NumOperators())
+	for i := range names {
+		names[i] = j.graph.OperatorName(i)
+	}
+	rep, err := acc.Finish(names, j.desired, j.EffectiveParallelism(), j.EffectiveCPUMilli(),
+		j.engine.DroppedTotal()-droppedBefore, j.session.k8s.Cost())
+	if err != nil {
+		return nil, err
+	}
+	j.slot++
+	j.lastReport = rep
+	return rep, nil
+}
+
+// reportPodUsage spreads each operator's utilization uniformly over its
+// running pods and reports it to the metrics server.
+func (j *Job) reportPodUsage(ops []streamsim.OpTick) {
+	byDep := make(map[string]float64, len(j.deployments))
+	for i, dep := range j.deployments {
+		byDep[dep] = ops[i].Util
+	}
+	for _, p := range j.session.k8s.Pods() {
+		util, ok := byDep[p.Deployment]
+		if !ok || p.Phase != cluster.PodRunning {
+			continue
+		}
+		// Errors can only be ErrUnknownPod for pods racing deletion, which
+		// cannot happen in this single-threaded loop; ignore defensively.
+		_ = j.session.k8s.ReportCPUUsage(p.Name, int(util*float64(p.Spec.CPUMilli)))
+	}
+}
+
+// LastReport returns the most recent slot report, or nil before the first
+// slot completes.
+func (j *Job) LastReport() *SlotReport { return j.lastReport }
+
+// Slot returns the index of the next slot to run.
+func (j *Job) Slot() int { return j.slot }

@@ -1,0 +1,93 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SetKernel swaps the regressor's kernel, keeping all observations; the
+// posterior is refitted lazily. Used by hyperparameter optimization.
+func (r *Regressor) SetKernel(k Kernel) error {
+	if k == nil {
+		return errors.New("gp: nil kernel")
+	}
+	r.kernel = k
+	r.dirty = true
+	return nil
+}
+
+// HyperGrid describes the SE-kernel search space for MaximizeLML.
+type HyperGrid struct {
+	LengthScales []float64
+	Variances    []float64
+}
+
+// DefaultHyperGrid spans length scales from 10% to 100% of diameter and
+// variances bracketing the observed target variance — the ranges a
+// practitioner would hand to sklearn's optimizer.
+func DefaultHyperGrid(diameter, targetVar float64) (HyperGrid, error) {
+	if diameter <= 0 || targetVar <= 0 {
+		return HyperGrid{}, fmt.Errorf("gp: hyper grid needs positive diameter (%v) and variance (%v)", diameter, targetVar)
+	}
+	var g HyperGrid
+	for _, f := range []float64{0.1, 0.2, 0.35, 0.5, 0.75, 1.0} {
+		g.LengthScales = append(g.LengthScales, f*diameter)
+	}
+	for _, f := range []float64{0.5, 1, 2, 4} {
+		g.Variances = append(g.Variances, f*targetVar)
+	}
+	return g, nil
+}
+
+// MaximizeLML fits SE-kernel hyperparameters by exhaustive search over the
+// grid, maximizing the log marginal likelihood of the regressor's current
+// observations. On success the regressor's kernel is replaced by the best
+// one and the winning (lengthScale, variance, lml) triple is returned.
+// With fewer than 3 observations it is a no-op returning ErrTooFewPoints.
+func (r *Regressor) MaximizeLML(grid HyperGrid) (lengthScale, variance, lml float64, err error) {
+	if r.Len() < 3 {
+		return 0, 0, 0, ErrTooFewPoints
+	}
+	if len(grid.LengthScales) == 0 || len(grid.Variances) == 0 {
+		return 0, 0, 0, errors.New("gp: empty hyperparameter grid")
+	}
+	orig := r.kernel
+	bestLML := math.Inf(-1)
+	var bestK Kernel
+	for _, ls := range grid.LengthScales {
+		for _, v := range grid.Variances {
+			k, kerr := NewSquaredExponential(ls, v)
+			if kerr != nil {
+				return 0, 0, 0, kerr
+			}
+			if err := r.SetKernel(k); err != nil {
+				return 0, 0, 0, err
+			}
+			cand, lerr := r.LogMarginalLikelihood()
+			if lerr != nil {
+				continue // numerically infeasible combination; skip
+			}
+			if cand > bestLML {
+				bestLML = cand
+				bestK = k
+				lengthScale, variance = ls, v
+			}
+		}
+	}
+	if bestK == nil {
+		// Nothing evaluated cleanly; restore and report.
+		if rerr := r.SetKernel(orig); rerr != nil {
+			return 0, 0, 0, rerr
+		}
+		return 0, 0, 0, errors.New("gp: no feasible hyperparameters in grid")
+	}
+	if err := r.SetKernel(bestK); err != nil {
+		return 0, 0, 0, err
+	}
+	return lengthScale, variance, bestLML, nil
+}
+
+// ErrTooFewPoints is returned by MaximizeLML before enough observations
+// exist to fit hyperparameters meaningfully.
+var ErrTooFewPoints = errors.New("gp: too few observations for hyperparameter fit")

@@ -1,0 +1,124 @@
+package gp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dragster/internal/stats"
+)
+
+func TestSetKernelInvalidatesFit(t *testing.T) {
+	r := mustRegressor(t, mustSE(t, 1, 1), 0.1)
+	if err := r.SetKernel(nil); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	if err := r.Observe([]float64{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Observe([]float64{1}, 5); err != nil {
+		t.Fatal(err)
+	}
+	muBefore, _, err := r.Posterior([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A much longer length scale pulls distant predictions toward the data.
+	if err := r.SetKernel(mustSE(t, 10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	muAfter, _, err := r.Posterior([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if muBefore == muAfter {
+		t.Error("kernel swap had no effect on the posterior")
+	}
+}
+
+func TestDefaultHyperGrid(t *testing.T) {
+	g, err := DefaultHyperGrid(9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.LengthScales) == 0 || len(g.Variances) == 0 {
+		t.Fatal("empty grid")
+	}
+	if g.LengthScales[0] <= 0 || g.LengthScales[len(g.LengthScales)-1] != 9 {
+		t.Errorf("length scales = %v", g.LengthScales)
+	}
+	if _, err := DefaultHyperGrid(0, 1); err == nil {
+		t.Error("zero diameter accepted")
+	}
+	if _, err := DefaultHyperGrid(1, -1); err == nil {
+		t.Error("negative variance accepted")
+	}
+}
+
+func TestMaximizeLMLRecoversSensibleScale(t *testing.T) {
+	// Data drawn from a smooth function with characteristic scale ~3: the
+	// LML search should prefer a length scale well above the smallest and
+	// produce a better-fitting posterior than a deliberately bad kernel.
+	rng := stats.NewRNG(11)
+	target := func(x float64) float64 { return 50 * math.Sin(x/3) }
+	r := mustRegressor(t, mustSE(t, 0.2, 1), 1) // bad initial kernel
+	for i := 0; i < 25; i++ {
+		x := rng.Uniform(0, 12)
+		if err := r.Observe([]float64{x}, target(x)+rng.Normal(0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	badLML, err := r.LogMarginalLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := DefaultHyperGrid(12, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, v, lml, err := r.MaximizeLML(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lml <= badLML {
+		t.Errorf("optimized LML %v not above initial %v", lml, badLML)
+	}
+	if ls <= grid.LengthScales[0] {
+		t.Errorf("chosen length scale %v stuck at grid minimum", ls)
+	}
+	if v <= 0 {
+		t.Errorf("variance %v", v)
+	}
+	// Interpolation quality must improve materially with the fitted kernel.
+	var mae float64
+	for x := 0.5; x < 12; x += 1.0 {
+		mu, _, err := r.Posterior([]float64{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mae += math.Abs(mu - target(x))
+	}
+	mae /= 12
+	if mae > 5 {
+		t.Errorf("post-fit MAE = %v, want < 5", mae)
+	}
+}
+
+func TestMaximizeLMLTooFewPoints(t *testing.T) {
+	r := mustRegressor(t, mustSE(t, 1, 1), 0.1)
+	grid, err := DefaultHyperGrid(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := r.MaximizeLML(grid); !errors.Is(err, ErrTooFewPoints) {
+		t.Errorf("err = %v, want ErrTooFewPoints", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := r.Observe([]float64{float64(i)}, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, _, err := r.MaximizeLML(HyperGrid{}); err == nil {
+		t.Error("empty grid accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package linalg
+
+import "math"
+
+// Cholesky holds the lower-triangular factor L of an SPD matrix A = L·Lᵀ.
+// It is the workhorse behind the GP posterior (Eq. 17 of the Dragster
+// paper): solving (K + σ²I)⁻¹ b reduces to two triangular solves.
+type Cholesky struct {
+	L *Matrix // lower triangular, Rows == Cols
+}
+
+// NewCholesky factorizes the SPD matrix a. It returns ErrNotSPD if a is not
+// square, not symmetric within 1e-8·max|a|, or a pivot becomes non-positive.
+// a is not modified.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, ErrNotSPD
+	}
+	var maxAbs float64
+	for _, v := range a.Data {
+		if av := math.Abs(v); av > maxAbs {
+			maxAbs = av
+		}
+	}
+	if !a.IsSymmetric(1e-8*maxAbs + 1e-12) {
+		return nil, ErrNotSPD
+	}
+
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			d += v * v
+		}
+		d = a.At(j, j) - d
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotSPD
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			var s float64
+			for k := 0; k < j; k++ {
+				s += l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, (a.At(i, j)-s)/ljj)
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// SolveVec solves A·x = b for x, where A is the factorized matrix.
+// It panics if len(b) != n.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	y := c.forwardSolve(b)
+	return c.backwardSolve(y)
+}
+
+// forwardSolve solves L·y = b.
+func (c *Cholesky) forwardSolve(b []float64) []float64 {
+	n := c.L.Rows
+	if len(b) != n {
+		panic("linalg: SolveVec dimension mismatch")
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.L.At(i, k) * y[k]
+		}
+		y[i] = s / c.L.At(i, i)
+	}
+	return y
+}
+
+// backwardSolve solves Lᵀ·x = y.
+func (c *Cholesky) backwardSolve(y []float64) []float64 {
+	n := c.L.Rows
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.L.At(k, i) * x[k]
+		}
+		x[i] = s / c.L.At(i, i)
+	}
+	return x
+}
+
+// SolveLowerVec solves L·y = b (forward substitution only). The GP variance
+// computation needs this half-solve: σ²(x) = k(x,x) − ‖L⁻¹ k_t(x)‖².
+func (c *Cholesky) SolveLowerVec(b []float64) []float64 {
+	return c.forwardSolve(b)
+}
+
+// LogDet returns log det(A) = 2·Σ log L_ii, used by the GP log-marginal
+// likelihood.
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.L.Rows; i++ {
+		s += math.Log(c.L.At(i, i))
+	}
+	return 2 * s
+}

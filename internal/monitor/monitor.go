@@ -1,0 +1,193 @@
+// Package monitor implements the Job Monitor component of Dragster: it
+// collects per-slot metrics from the Flink JobManager (directly or via the
+// monitoring REST API) and the Kubernetes metrics server, and derives the
+// observed service capacity of every operator per Eq. 8 of the paper:
+//
+//	c_i(t) = Σ_{j∈S_i} e_j^i / cpu_i(x_i(t))
+//
+// along with a backpressure signal used by the Dhalion baseline.
+package monitor
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"dragster/internal/telemetry"
+)
+
+// OperatorMetrics is the per-operator view of one decision slot.
+type OperatorMetrics struct {
+	Name         string
+	Tasks        int     // running tasks during the slot
+	CPUMilli     int     // per-pod CPU template (0 when unknown)
+	InRate       float64 // tuples/s arriving
+	OutRate      float64 // tuples/s emitted
+	ConsumedRate float64 // tuples/s drained from input buffers
+	Util         float64 // mean CPU utilization in (0, 1]
+	Backlog      float64 // buffered tuples at slot end
+	// CapacityObs is the Eq. 8 estimate OutRate/Util — a noisy sample of
+	// the true service capacity y_i(x_i).
+	CapacityObs float64
+	// Backpressured is set when the operator cannot keep up: its backlog
+	// exceeds the threshold worth of input or its CPU is saturated.
+	Backpressured bool
+}
+
+// Snapshot is the cross-operator view of one slot.
+type Snapshot struct {
+	Slot            int
+	Throughput      float64 // mean application (sink) tuples/s
+	ProcessedTuples float64
+	DroppedTuples   float64
+	PausedSeconds   int
+	Cost            float64   // cumulative dollars
+	SourceRates     []float64 // mean offered tuples/s per source
+	AvgLatencySec   float64   // Little's-law end-to-end latency, slot mean
+	MaxLatencySec   float64
+	Operators       []OperatorMetrics
+}
+
+// Source supplies raw slot reports. flink.Job and storm.Topology satisfy
+// the direct case via DirectSource; HTTPSource scrapes the REST API.
+type Source interface {
+	Fetch() (*telemetry.SlotReport, error)
+}
+
+// ReportingJob is any stream-engine runtime exposing its latest slot
+// report (flink.Job, storm.Topology).
+type ReportingJob interface {
+	LastReport() *telemetry.SlotReport
+}
+
+// DirectSource reads the latest report straight off the job (in-process
+// deployment, the common case in experiments).
+type DirectSource struct {
+	Job ReportingJob
+}
+
+// Fetch implements Source.
+func (d DirectSource) Fetch() (*telemetry.SlotReport, error) {
+	if d.Job == nil {
+		return nil, errors.New("monitor: nil job")
+	}
+	rep := d.Job.LastReport()
+	if rep == nil {
+		return nil, errors.New("monitor: no slot report yet")
+	}
+	return rep, nil
+}
+
+// HTTPSource scrapes the Flink monitoring REST API.
+type HTTPSource struct {
+	BaseURL string // e.g. http://jobmanager:8081
+	JobName string
+	Client  *http.Client // nil → http.DefaultClient
+}
+
+// Fetch implements Source.
+func (h HTTPSource) Fetch() (*telemetry.SlotReport, error) {
+	c := h.Client
+	if c == nil {
+		c = http.DefaultClient
+	}
+	resp, err := c.Get(h.BaseURL + "/jobs/" + h.JobName)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: fetching job report: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("monitor: job report status %d", resp.StatusCode)
+	}
+	var rep telemetry.SlotReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("monitor: decoding job report: %w", err)
+	}
+	return &rep, nil
+}
+
+// Config tunes backpressure detection.
+type Config struct {
+	// BacklogSeconds flags backpressure when the end-of-slot backlog
+	// exceeds this many seconds of the operator's input rate (default 2).
+	BacklogSeconds float64
+	// UtilSaturation flags backpressure at or above this mean CPU
+	// utilization (default 0.95).
+	UtilSaturation float64
+	// MinUtil floors the utilization used in the Eq. 8 division so a
+	// near-idle observation does not produce an absurd capacity estimate
+	// (default 0.05).
+	MinUtil float64
+}
+
+func (c *Config) setDefaults() {
+	if c.BacklogSeconds == 0 {
+		c.BacklogSeconds = 2
+	}
+	if c.UtilSaturation == 0 {
+		c.UtilSaturation = 0.95
+	}
+	if c.MinUtil == 0 {
+		c.MinUtil = 0.05
+	}
+}
+
+// Monitor converts raw slot reports into snapshots.
+type Monitor struct {
+	src Source
+	cfg Config
+}
+
+// New returns a Monitor over the given source.
+func New(src Source, cfg Config) (*Monitor, error) {
+	if src == nil {
+		return nil, errors.New("monitor: nil source")
+	}
+	cfg.setDefaults()
+	if cfg.BacklogSeconds < 0 || cfg.UtilSaturation <= 0 || cfg.UtilSaturation > 1 || cfg.MinUtil <= 0 {
+		return nil, fmt.Errorf("monitor: invalid config %+v", cfg)
+	}
+	return &Monitor{src: src, cfg: cfg}, nil
+}
+
+// Collect fetches the latest slot report and derives operator metrics.
+func (m *Monitor) Collect() (*Snapshot, error) {
+	rep, err := m.src.Fetch()
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{
+		Slot:            rep.Slot,
+		Throughput:      rep.Throughput,
+		ProcessedTuples: rep.ProcessedTuples,
+		DroppedTuples:   rep.DroppedTuples,
+		PausedSeconds:   rep.PausedSeconds,
+		Cost:            rep.CostSoFar,
+		SourceRates:     append([]float64(nil), rep.SourceRates...),
+		AvgLatencySec:   rep.AvgLatencySec,
+		MaxLatencySec:   rep.MaxLatencySec,
+		Operators:       make([]OperatorMetrics, len(rep.Vertices)),
+	}
+	for i, v := range rep.Vertices {
+		util := v.Util
+		if util < m.cfg.MinUtil {
+			util = m.cfg.MinUtil
+		}
+		om := OperatorMetrics{
+			Name:         v.Name,
+			Tasks:        v.RunningTasks,
+			CPUMilli:     v.CPUMilli,
+			InRate:       v.InRate,
+			OutRate:      v.OutRate,
+			ConsumedRate: v.ConsumedRate,
+			Util:         v.Util,
+			Backlog:      v.Backlog,
+			CapacityObs:  v.OutRate / util,
+		}
+		om.Backpressured = v.Util >= m.cfg.UtilSaturation ||
+			(v.InRate > 0 && v.Backlog > m.cfg.BacklogSeconds*v.InRate)
+		snap.Operators[i] = om
+	}
+	return snap, nil
+}

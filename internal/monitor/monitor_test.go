@@ -1,0 +1,183 @@
+package monitor
+
+import (
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"dragster/internal/cluster"
+	"dragster/internal/dag"
+	"dragster/internal/flink"
+	"dragster/internal/streamsim"
+)
+
+func buildJob(t testing.TB, perTask float64, initial []int) (*flink.SessionCluster, *flink.Job) {
+	t.Helper()
+	b := dag.NewBuilder()
+	src := b.Source("source")
+	mp := b.Operator("map")
+	sh := b.Operator("shuffle")
+	snk := b.Sink("sink")
+	if err := b.Chain([]dag.NodeID{src, mp, sh, snk}, []dag.ThroughputFunc{nil, dag.Selectivity(2), dag.Selectivity(1)}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := streamsim.NewLinearCurve(perTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := streamsim.New(streamsim.Config{Graph: g, Models: []streamsim.CapacityModel{lin, lin}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k8s := cluster.New()
+	if err := k8s.AddNodes("n", 8, cluster.ResourceSpec{CPUMilli: 4000, MemoryMB: 8192}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := flink.NewSession(k8s, flink.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.SubmitJob("wc", g, eng, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, j
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := New(DirectSource{}, Config{UtilSaturation: 2}); err == nil {
+		t.Error("bad saturation accepted")
+	}
+	if _, err := New(DirectSource{}, Config{BacklogSeconds: -1}); err == nil {
+		t.Error("negative backlog threshold accepted")
+	}
+}
+
+func TestDirectSourceErrors(t *testing.T) {
+	if _, err := (DirectSource{}).Fetch(); err == nil {
+		t.Error("nil job accepted")
+	}
+	_, j := buildJob(t, 150, []int{1, 1})
+	if _, err := (DirectSource{Job: j}).Fetch(); err == nil {
+		t.Error("pre-slot fetch succeeded")
+	}
+}
+
+func TestCollectCapacityEstimate(t *testing.T) {
+	_, j := buildJob(t, 150, []int{2, 3})
+	if _, err := j.RunSlot(60, func(int) []float64 { return []float64{100} }); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(DirectSource{Job: j}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Operators) != 2 {
+		t.Fatalf("operators = %d", len(snap.Operators))
+	}
+	// map: 2 tasks × 150 = 300 true capacity; Eq. 8 should recover it.
+	mp := snap.Operators[0]
+	if mp.Name != "map" || mp.Tasks != 2 {
+		t.Errorf("map metrics = %+v", mp)
+	}
+	if math.Abs(mp.CapacityObs-300) > 15 {
+		t.Errorf("CapacityObs = %v, want ≈300", mp.CapacityObs)
+	}
+	if mp.Backpressured {
+		t.Error("uncongested operator flagged backpressured")
+	}
+	if snap.Throughput < 190 {
+		t.Errorf("snapshot throughput = %v", snap.Throughput)
+	}
+}
+
+func TestCollectBackpressureSignal(t *testing.T) {
+	// Capacity 50/task, demand 200 output/s at 1 task → heavy backlog.
+	_, j := buildJob(t, 50, []int{1, 1})
+	for k := 0; k < 3; k++ {
+		if _, err := j.RunSlot(60, func(int) []float64 { return []float64{100} }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := New(DirectSource{Job: j}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Operators[0].Backpressured {
+		t.Errorf("overloaded map not flagged: %+v", snap.Operators[0])
+	}
+}
+
+func TestMinUtilFloorsCapacityEstimate(t *testing.T) {
+	// Nearly idle operator: tiny offered load with huge capacity would
+	// produce a wild estimate if util were used raw; MinUtil caps it.
+	_, j := buildJob(t, 100000, []int{1, 1})
+	if _, err := j.RunSlot(30, func(int) []float64 { return []float64{1} }); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(DirectSource{Job: j}, Config{MinUtil: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OutRate ≈ 2/s, estimate capped at 2/0.05 = 40.
+	if snap.Operators[0].CapacityObs > 45 {
+		t.Errorf("capacity estimate %v not floored", snap.Operators[0].CapacityObs)
+	}
+}
+
+func TestHTTPSource(t *testing.T) {
+	s, j := buildJob(t, 150, []int{2, 2})
+	if _, err := j.RunSlot(30, func(int) []float64 { return []float64{100} }); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(flink.NewRESTHandler(s))
+	defer srv.Close()
+
+	m, err := New(HTTPSource{BaseURL: srv.URL, JobName: "wc"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Operators) != 2 || snap.Operators[1].Name != "shuffle" {
+		t.Errorf("HTTP snapshot operators = %+v", snap.Operators)
+	}
+
+	// Unknown job → error surfaced.
+	bad, err := New(HTTPSource{BaseURL: srv.URL, JobName: "missing"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Collect(); err == nil {
+		t.Error("missing job fetch succeeded")
+	}
+	// Unreachable server → transport error surfaced.
+	gone, err := New(HTTPSource{BaseURL: "http://127.0.0.1:1", JobName: "wc"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gone.Collect(); err == nil {
+		t.Error("unreachable server fetch succeeded")
+	}
+}

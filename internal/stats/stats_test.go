@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	g := NewRNG(7)
+	c1 := g.Split()
+	c2 := g.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("split streams look correlated: %d/100 identical draws", same)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	g := NewRNG(1)
+	var w Welford
+	for i := 0; i < 200000; i++ {
+		w.Add(g.Normal(3, 2))
+	}
+	if math.Abs(w.Mean()-3) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~3", w.Mean())
+	}
+	if math.Abs(w.Std()-2) > 0.05 {
+		t.Errorf("Normal std = %v, want ~2", w.Std())
+	}
+}
+
+func TestNormalNegativeSigmaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Normal with negative sigma did not panic")
+		}
+	}()
+	NewRNG(1).Normal(0, -1)
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	g := NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		if v := g.LogNormal(0, 0.5); v <= 0 {
+			t.Fatalf("LogNormal produced non-positive %v", v)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) = %v out of range", v)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("Std = %v, want sqrt(2.5)", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty Summarize = %+v", z)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if got := Percentile(sorted, 0); got != 10 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(sorted, 1); got != 40 {
+		t.Errorf("p1 = %v", got)
+	}
+	if got := Percentile(sorted, 0.5); got != 25 {
+		t.Errorf("p50 = %v, want 25 (interpolated)", got)
+	}
+	if got := Percentile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single-element percentile = %v", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Percentile(nil, 0.5) },
+		func() { Percentile([]float64{1}, -0.1) },
+		func() { Percentile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWelfordMatchesSummarize(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	s := Summarize(xs)
+	if math.Abs(w.Mean()-s.Mean) > 1e-12 {
+		t.Errorf("Welford mean %v vs Summarize %v", w.Mean(), s.Mean)
+	}
+	if math.Abs(w.Std()-s.Std) > 1e-12 {
+		t.Errorf("Welford std %v vs Summarize %v", w.Std(), s.Std)
+	}
+	if w.N() != len(xs) {
+		t.Errorf("Welford N = %d", w.N())
+	}
+	w.Reset()
+	if w.N() != 0 || w.Mean() != 0 || w.Var() != 0 {
+		t.Error("Reset did not clear accumulator")
+	}
+}
+
+func TestWelfordVarNonNegativeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var w Welford
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+			w.Add(x)
+		}
+		return w.Var() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Error("fresh EWMA reports initialized")
+	}
+	if got := e.Add(10); got != 10 {
+		t.Errorf("first Add = %v", got)
+	}
+	if got := e.Add(20); got != 15 {
+		t.Errorf("second Add = %v, want 15", got)
+	}
+	if !e.Initialized() || e.Value() != 15 {
+		t.Errorf("Value = %v", e.Value())
+	}
+}
+
+func TestEWMAAlphaValidation(t *testing.T) {
+	for _, alpha := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%v) did not panic", alpha)
+				}
+			}()
+			NewEWMA(alpha)
+		}()
+	}
+	NewEWMA(1) // boundary is legal
+}

@@ -1,0 +1,209 @@
+// Package store implements Dragster's Database component: the list of
+// candidate configurations per operator and the timestamped history of
+// (configuration, throughput, observed capacity, utilization) tuples the
+// optimization engine learns from. The store can snapshot itself to JSON
+// and restore, which is what lets a restarted controller warm-start its
+// Gaussian processes ("learn from history").
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Record is one observation of one operator during one decision slot.
+type Record struct {
+	Slot        int       `json:"slot"`
+	Operator    string    `json:"operator"`
+	Config      []float64 `json:"config"`       // e.g. [tasks] or [tasks, cpuMilli]
+	Throughput  float64   `json:"throughput"`   // application throughput that slot
+	CapacityObs float64   `json:"capacity_obs"` // Eq. 8 sample
+	Util        float64   `json:"util"`
+}
+
+// DB is the in-memory database. It is safe for concurrent use.
+type DB struct {
+	mu         sync.RWMutex
+	records    []Record
+	candidates map[string][][]float64
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{candidates: make(map[string][][]float64)}
+}
+
+// SetCandidates registers the candidate configuration list for an
+// operator, replacing any previous list. Configurations are copied.
+func (d *DB) SetCandidates(operator string, configs [][]float64) error {
+	if operator == "" {
+		return errors.New("store: empty operator name")
+	}
+	if len(configs) == 0 {
+		return fmt.Errorf("store: operator %q needs at least one candidate", operator)
+	}
+	dim := len(configs[0])
+	cp := make([][]float64, len(configs))
+	for i, c := range configs {
+		if len(c) != dim || dim == 0 {
+			return fmt.Errorf("store: candidate %d of %q has dimension %d, want %d > 0", i, operator, len(c), dim)
+		}
+		cp[i] = append([]float64(nil), c...)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.candidates[operator] = cp
+	return nil
+}
+
+// Candidates returns a copy of the operator's candidate list, or nil when
+// none is registered.
+func (d *DB) Candidates(operator string) [][]float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	src, ok := d.candidates[operator]
+	if !ok {
+		return nil
+	}
+	out := make([][]float64, len(src))
+	for i, c := range src {
+		out[i] = append([]float64(nil), c...)
+	}
+	return out
+}
+
+// Append stores a record. The config slice is copied.
+func (d *DB) Append(r Record) error {
+	if r.Operator == "" {
+		return errors.New("store: record without operator")
+	}
+	if len(r.Config) == 0 {
+		return errors.New("store: record without config")
+	}
+	r.Config = append([]float64(nil), r.Config...)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.records = append(d.records, r)
+	return nil
+}
+
+// History returns copies of all records for one operator in insertion
+// order.
+func (d *DB) History(operator string) []Record {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []Record
+	for _, r := range d.records {
+		if r.Operator == operator {
+			rc := r
+			rc.Config = append([]float64(nil), r.Config...)
+			out = append(out, rc)
+		}
+	}
+	return out
+}
+
+// Len returns the total number of records.
+func (d *DB) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.records)
+}
+
+// snapshot is the JSON wire format.
+type snapshot struct {
+	Records    []Record               `json:"records"`
+	Candidates map[string][][]float64 `json:"candidates"`
+}
+
+// Snapshot writes the full database as JSON.
+func (d *DB) Snapshot(w io.Writer) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snapshot{Records: d.records, Candidates: d.candidates})
+}
+
+// Restore replaces the database contents from a Snapshot stream.
+func (d *DB) Restore(r io.Reader) error {
+	var s snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("store: restore: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.records = s.Records
+	if s.Candidates == nil {
+		s.Candidates = make(map[string][][]float64)
+	}
+	d.candidates = s.Candidates
+	return nil
+}
+
+// SaveFile snapshots the database to path (written atomically via a
+// temporary file in the same directory).
+func (d *DB) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	if err := d.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: save: %w", err)
+	}
+	return nil
+}
+
+// LoadFile restores the database from a SaveFile snapshot.
+func (d *DB) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: load: %w", err)
+	}
+	defer f.Close()
+	return d.Restore(f)
+}
+
+// TaskGrid returns the 1-D candidate list {min, ..., max} task counts, the
+// paper's configuration space (1..10 tasks per operator).
+func TaskGrid(min, max int) ([][]float64, error) {
+	if min < 1 || max < min {
+		return nil, fmt.Errorf("store: invalid task grid [%d, %d]", min, max)
+	}
+	out := make([][]float64, 0, max-min+1)
+	for n := min; n <= max; n++ {
+		out = append(out, []float64{float64(n)})
+	}
+	return out, nil
+}
+
+// Grid2D returns the cross product {t0..t1} × {c0..c1 step} as 2-D
+// candidates (tasks, CPU millicores), exercising the multi-dimensional
+// configuration extension.
+func Grid2D(t0, t1, c0, c1, step int) ([][]float64, error) {
+	if t0 < 1 || t1 < t0 || c0 < 1 || c1 < c0 || step < 1 {
+		return nil, fmt.Errorf("store: invalid 2-D grid [%d %d]×[%d %d]/%d", t0, t1, c0, c1, step)
+	}
+	var out [][]float64
+	for t := t0; t <= t1; t++ {
+		for c := c0; c <= c1; c += step {
+			out = append(out, []float64{float64(t), float64(c)})
+		}
+	}
+	return out, nil
+}

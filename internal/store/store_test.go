@@ -1,0 +1,200 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSetCandidatesValidation(t *testing.T) {
+	d := New()
+	if err := d.SetCandidates("", [][]float64{{1}}); err == nil {
+		t.Error("empty operator accepted")
+	}
+	if err := d.SetCandidates("op", nil); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	if err := d.SetCandidates("op", [][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("mixed dimensions accepted")
+	}
+	if err := d.SetCandidates("op", [][]float64{{}}); err == nil {
+		t.Error("zero-dimension candidates accepted")
+	}
+}
+
+func TestCandidatesCopySemantics(t *testing.T) {
+	d := New()
+	in := [][]float64{{1}, {2}}
+	if err := d.SetCandidates("op", in); err != nil {
+		t.Fatal(err)
+	}
+	in[0][0] = 99
+	got := d.Candidates("op")
+	if got[0][0] != 1 {
+		t.Error("SetCandidates did not copy input")
+	}
+	got[1][0] = 99
+	if d.Candidates("op")[1][0] != 2 {
+		t.Error("Candidates leaked internal storage")
+	}
+	if d.Candidates("missing") != nil {
+		t.Error("missing operator should return nil")
+	}
+}
+
+func TestAppendHistory(t *testing.T) {
+	d := New()
+	if err := d.Append(Record{Operator: "", Config: []float64{1}}); err == nil {
+		t.Error("record without operator accepted")
+	}
+	if err := d.Append(Record{Operator: "op"}); err == nil {
+		t.Error("record without config accepted")
+	}
+	cfg := []float64{3}
+	if err := d.Append(Record{Slot: 1, Operator: "map", Config: cfg, CapacityObs: 100}); err != nil {
+		t.Fatal(err)
+	}
+	cfg[0] = 99 // must not affect the stored record
+	if err := d.Append(Record{Slot: 2, Operator: "shuffle", Config: []float64{5}}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	h := d.History("map")
+	if len(h) != 1 || h[0].Config[0] != 3 || h[0].CapacityObs != 100 {
+		t.Errorf("History(map) = %+v", h)
+	}
+	h[0].Config[0] = 77
+	if d.History("map")[0].Config[0] != 3 {
+		t.Error("History leaked internal storage")
+	}
+	if len(d.History("nobody")) != 0 {
+		t.Error("unknown operator has history")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	d := New()
+	if err := d.SetCandidates("map", [][]float64{{1}, {2}, {3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(Record{Slot: 4, Operator: "map", Config: []float64{2}, Throughput: 123, Util: 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2 := New()
+	if err := d2.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 1 {
+		t.Fatalf("restored Len = %d", d2.Len())
+	}
+	h := d2.History("map")
+	if h[0].Throughput != 123 || h[0].Util != 0.7 || h[0].Slot != 4 {
+		t.Errorf("restored record = %+v", h[0])
+	}
+	if got := d2.Candidates("map"); len(got) != 3 || got[2][0] != 3 {
+		t.Errorf("restored candidates = %v", got)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	d := New()
+	if err := d.Restore(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage restore succeeded")
+	}
+	// Valid JSON with no candidates leaves a usable empty map.
+	if err := d.Restore(strings.NewReader(`{"records": null}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetCandidates("op", [][]float64{{1}}); err != nil {
+		t.Errorf("store unusable after minimal restore: %v", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = d.Append(Record{Slot: i, Operator: "op", Config: []float64{float64(w)}})
+				_ = d.History("op")
+				_ = d.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.Len() != 800 {
+		t.Errorf("Len = %d, want 800", d.Len())
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	d := New()
+	if err := d.SetCandidates("map", [][]float64{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(Record{Slot: 1, Operator: "map", Config: []float64{2}, CapacityObs: 50}); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/history.json"
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	d2 := New()
+	if err := d2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 1 || len(d2.Candidates("map")) != 2 {
+		t.Errorf("restored db: len=%d candidates=%v", d2.Len(), d2.Candidates("map"))
+	}
+	if err := d2.LoadFile(path + ".missing"); err == nil {
+		t.Error("missing file load succeeded")
+	}
+	if err := d.SaveFile("/nonexistent-dir/x.json"); err == nil {
+		t.Error("save into missing directory succeeded")
+	}
+}
+
+func TestTaskGrid(t *testing.T) {
+	g, err := TaskGrid(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 10 || g[0][0] != 1 || g[9][0] != 10 {
+		t.Errorf("TaskGrid = %v", g)
+	}
+	if _, err := TaskGrid(0, 5); err == nil {
+		t.Error("min 0 accepted")
+	}
+	if _, err := TaskGrid(5, 2); err == nil {
+		t.Error("max < min accepted")
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g, err := Grid2D(1, 2, 500, 1000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 4 {
+		t.Fatalf("Grid2D size = %d, want 4", len(g))
+	}
+	if g[0][0] != 1 || g[0][1] != 500 || g[3][0] != 2 || g[3][1] != 1000 {
+		t.Errorf("Grid2D = %v", g)
+	}
+	if _, err := Grid2D(2, 1, 1, 2, 1); err == nil {
+		t.Error("bad task bounds accepted")
+	}
+	if _, err := Grid2D(1, 2, 1, 2, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+}

@@ -1,0 +1,196 @@
+package storm
+
+import (
+	"math"
+	"testing"
+
+	"dragster/internal/cluster"
+	"dragster/internal/dag"
+	"dragster/internal/streamsim"
+)
+
+func chainGraph(t testing.TB) *dag.Graph {
+	t.Helper()
+	b := dag.NewBuilder()
+	src := b.Source("spout")
+	split := b.Operator("split")
+	count := b.Operator("count")
+	snk := b.Sink("sink")
+	if err := b.Chain([]dag.NodeID{src, split, count, snk}, []dag.ThroughputFunc{nil, dag.Selectivity(2), dag.Selectivity(1)}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newTopology(t testing.TB, perTask float64, initial []int) (*Cluster, *Topology) {
+	t.Helper()
+	g := chainGraph(t)
+	lin, err := streamsim.NewLinearCurve(perTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := streamsim.New(streamsim.Config{Graph: g, Models: []streamsim.CapacityModel{lin, lin}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k8s := cluster.New()
+	if err := k8s.AddNodes("n", 8, cluster.ResourceSpec{CPUMilli: 4000, MemoryMB: 8192}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(k8s, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := c.SubmitTopology("wordcount", g, eng, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, topo
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(nil, DefaultOptions()); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	empty := cluster.New() // nimbus unschedulable
+	if _, err := NewCluster(empty, DefaultOptions()); err == nil {
+		t.Error("unschedulable nimbus accepted")
+	}
+	k8s := cluster.New()
+	if err := k8s.AddNode("n", cluster.ResourceSpec{CPUMilli: 4000, MemoryMB: 8192}); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultOptions()
+	bad.RebalancePauseSeconds = -1
+	if _, err := NewCluster(k8s, bad); err == nil {
+		t.Error("negative pause accepted")
+	}
+}
+
+func TestSubmitTopology(t *testing.T) {
+	c, topo := newTopology(t, 150, []int{2, 3})
+	if topo.Name() != "wordcount" {
+		t.Errorf("Name = %q", topo.Name())
+	}
+	if got := topo.EffectiveParallelism(); got[0] != 2 || got[1] != 3 {
+		t.Errorf("parallelism = %v", got)
+	}
+	cpus := topo.EffectiveCPUMilli()
+	if cpus[0] != 1000 || cpus[1] != 1000 {
+		t.Errorf("worker CPUs = %v", cpus)
+	}
+	deps := c.Cluster().Deployments()
+	want := map[string]bool{"storm-nimbus": true, "worker-wordcount-split": true, "worker-wordcount-count": true}
+	for _, d := range deps {
+		if !want[d] {
+			t.Errorf("unexpected deployment %q", d)
+		}
+	}
+	if _, err := c.SubmitTopology("again", topo.Graph(), nil, []int{1, 1}); err == nil {
+		t.Error("second topology accepted")
+	}
+}
+
+func TestSubmitTopologyValidation(t *testing.T) {
+	k8s := cluster.New()
+	if err := k8s.AddNodes("n", 2, cluster.ResourceSpec{CPUMilli: 4000, MemoryMB: 8192}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(k8s, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := chainGraph(t)
+	if _, err := c.SubmitTopology("x", nil, nil, []int{1, 1}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	lin, _ := streamsim.NewLinearCurve(10)
+	eng, err := streamsim.New(streamsim.Config{Graph: g, Models: []streamsim.CapacityModel{lin, lin}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitTopology("x", g, eng, []int{1}); err == nil {
+		t.Error("wrong initial length accepted")
+	}
+	if _, err := c.SubmitTopology("x", g, eng, []int{0, 1}); err == nil {
+		t.Error("zero executors accepted")
+	}
+}
+
+func TestRunSlotSteadyState(t *testing.T) {
+	_, topo := newTopology(t, 150, []int{2, 3})
+	rep, err := topo.RunSlot(60, func(int) []float64 { return []float64{100} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Throughput-200) > 5 {
+		t.Errorf("Throughput = %v, want ≈200", rep.Throughput)
+	}
+	if rep.Vertices[0].Name != "split" || rep.Vertices[0].RunningTasks != 2 {
+		t.Errorf("vertex 0 = %+v", rep.Vertices[0])
+	}
+	if topo.LastReport() != rep || topo.Slot() != 1 {
+		t.Error("report bookkeeping wrong")
+	}
+	if rep.CostSoFar <= 0 {
+		t.Error("no cost accrued")
+	}
+}
+
+func TestRebalancePauseShorterThanFlink(t *testing.T) {
+	_, topo := newTopology(t, 150, []int{1, 1})
+	rates := func(int) []float64 { return []float64{100} }
+	if _, err := topo.RunSlot(30, rates); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Rebalance([]int{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := topo.RunSlot(60, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Storm rebalance stalls 10 s, not Flink's 30 s.
+	if rep.PausedSeconds != 10 {
+		t.Errorf("PausedSeconds = %d, want 10", rep.PausedSeconds)
+	}
+	// No-op rebalance costs nothing.
+	if err := topo.Rebalance([]int{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = topo.RunSlot(30, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PausedSeconds != 0 {
+		t.Errorf("no-op rebalance paused %ds", rep.PausedSeconds)
+	}
+}
+
+func TestRebalanceValidation(t *testing.T) {
+	_, topo := newTopology(t, 150, []int{1, 1})
+	if err := topo.Rebalance([]int{1}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if err := topo.Rebalance([]int{0, 1}); err == nil {
+		t.Error("zero executors accepted")
+	}
+}
+
+func TestRescaleResourcesRejectsVertical(t *testing.T) {
+	_, topo := newTopology(t, 150, []int{1, 1})
+	if err := topo.RescaleResources([]int{2, 2}, []int{2000, 1000}); err == nil {
+		t.Error("heterogeneous CPU accepted on storm")
+	}
+	// Matching or zero CPU entries are fine (harness compatibility).
+	if err := topo.RescaleResources([]int{2, 2}, []int{1000, 0}); err != nil {
+		t.Errorf("homogeneous rescale rejected: %v", err)
+	}
+	if got := topo.EffectiveParallelism(); got[0] != 2 || got[1] != 2 {
+		t.Errorf("parallelism = %v", got)
+	}
+}

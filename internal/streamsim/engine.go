@@ -1,0 +1,437 @@
+package streamsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dragster/internal/dag"
+	"dragster/internal/stats"
+)
+
+// Config assembles an Engine.
+type Config struct {
+	// Graph is the application topology.
+	Graph *dag.Graph
+	// Models holds one capacity model per operator (dense operator index).
+	Models []CapacityModel
+	// NoiseSigma is the per-slot multiplicative cloud-noise deviation on
+	// operator capacity (log-normal, mean 1). 0 disables noise.
+	NoiseSigma float64
+	// UtilNoiseSigma perturbs the reported CPU utilization (additive
+	// Gaussian before clamping to (0, 1]). 0 disables.
+	UtilNoiseSigma float64
+	// MaxBufferPerEdge drops tuples beyond this backlog on any input edge,
+	// counting them in DroppedTotal. 0 means unbounded buffering.
+	MaxBufferPerEdge float64
+	// RNG drives all stochastic behaviour. Required when any noise is set;
+	// otherwise optional.
+	RNG *stats.RNG
+}
+
+// OpTick is one operator's activity during a tick.
+type OpTick struct {
+	Arrived  float64 // tuples arriving on input edges this tick
+	Consumed float64 // input tuples drained from buffers
+	Emitted  float64 // output tuples produced
+	Buffered float64 // backlog across input edges after the tick
+	Capacity float64 // effective (noise-scaled) capacity this tick
+	Util     float64 // reported CPU utilization in [0, 1] (noisy)
+}
+
+// MaxLatencySec caps the per-tick latency estimate: an operator with
+// backlog but no drain would otherwise report infinity.
+const MaxLatencySec = 3600
+
+// TickStats summarizes one engine tick.
+type TickStats struct {
+	SinkThroughput float64 // tuples absorbed by sinks this tick
+	Paused         bool    // true while a reconfiguration pause is active
+	// LatencySec estimates the end-to-end tuple latency by Little's law:
+	// the sum over operators of backlog/drain-rate (capped at
+	// MaxLatencySec). The paper's dynamic-fit bound translates into a
+	// bound on exactly this quantity.
+	LatencySec float64
+	Ops        []OpTick // per dense operator index
+}
+
+// Engine simulates the dataflow. Not safe for concurrent use.
+type Engine struct {
+	cfg   Config
+	g     *dag.Graph
+	tasks []int
+	cpu   []int // per-pod CPU millicores per operator (default 1000)
+
+	edgeBuf   map[dag.EdgeKey]float64 // backlog on edges into operators/sinks
+	slotNoise []float64               // capacity factor per operator, redrawn per slot
+	order     []dag.NodeID            // cached topological order (operators+sinks)
+	pause     int                     // remaining pause ticks
+
+	dropped   float64
+	processed float64 // cumulative sink throughput
+}
+
+// New validates cfg and returns an Engine with all parallelism at 1 and
+// empty buffers. Call SetTasks to apply an initial configuration.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("streamsim: nil graph")
+	}
+	if len(cfg.Models) != cfg.Graph.NumOperators() {
+		return nil, fmt.Errorf("streamsim: %d capacity models for %d operators", len(cfg.Models), cfg.Graph.NumOperators())
+	}
+	for i, m := range cfg.Models {
+		if m == nil {
+			return nil, fmt.Errorf("streamsim: nil capacity model for operator %d", i)
+		}
+	}
+	if cfg.NoiseSigma < 0 || cfg.UtilNoiseSigma < 0 || cfg.MaxBufferPerEdge < 0 {
+		return nil, errors.New("streamsim: negative noise or buffer parameter")
+	}
+	if (cfg.NoiseSigma > 0 || cfg.UtilNoiseSigma > 0) && cfg.RNG == nil {
+		return nil, errors.New("streamsim: noise requested without an RNG")
+	}
+	e := &Engine{
+		cfg:       cfg,
+		g:         cfg.Graph,
+		tasks:     make([]int, cfg.Graph.NumOperators()),
+		cpu:       make([]int, cfg.Graph.NumOperators()),
+		edgeBuf:   make(map[dag.EdgeKey]float64),
+		slotNoise: make([]float64, cfg.Graph.NumOperators()),
+	}
+	for i := range e.tasks {
+		e.tasks[i] = 1
+		e.cpu[i] = 1000
+	}
+	for i := range e.slotNoise {
+		e.slotNoise[i] = 1
+	}
+	e.order = topoOperatorsAndSinks(cfg.Graph)
+	return e, nil
+}
+
+// SetTasks applies a new parallelism vector (dense operator index order).
+// It does not pause the engine; the Flink layer calls Pause separately to
+// model the savepoint stop-and-resume.
+func (e *Engine) SetTasks(tasks []int) error {
+	if len(tasks) != len(e.tasks) {
+		return fmt.Errorf("streamsim: got %d task counts, want %d", len(tasks), len(e.tasks))
+	}
+	for i, n := range tasks {
+		if n < 0 {
+			return fmt.Errorf("streamsim: negative task count %d for operator %d", n, i)
+		}
+	}
+	copy(e.tasks, tasks)
+	return nil
+}
+
+// Tasks returns a copy of the current parallelism vector.
+func (e *Engine) Tasks() []int { return append([]int(nil), e.tasks...) }
+
+// SetCPU applies per-pod CPU allocations (millicores, dense operator
+// index order). Only models implementing ResourceAware react; others keep
+// their task-count capacity.
+func (e *Engine) SetCPU(cpuMilli []int) error {
+	if len(cpuMilli) != len(e.cpu) {
+		return fmt.Errorf("streamsim: got %d CPU allocations, want %d", len(cpuMilli), len(e.cpu))
+	}
+	for i, c := range cpuMilli {
+		if c < 0 {
+			return fmt.Errorf("streamsim: negative CPU %d for operator %d", c, i)
+		}
+	}
+	copy(e.cpu, cpuMilli)
+	return nil
+}
+
+// CPU returns a copy of the per-pod CPU vector.
+func (e *Engine) CPU() []int { return append([]int(nil), e.cpu...) }
+
+// capacityOf evaluates operator i's ground-truth capacity under the
+// current (tasks, cpu) allocation.
+func (e *Engine) capacityOf(i int) float64 {
+	if ra, ok := e.cfg.Models[i].(ResourceAware); ok {
+		return ra.CapacityWithCPU(e.tasks[i], e.cpu[i])
+	}
+	return e.cfg.Models[i].Capacity(e.tasks[i])
+}
+
+// Pause stalls all processing for the given number of ticks (sources keep
+// emitting into edge buffers, as Kafka would keep accumulating during a
+// Flink savepoint restore).
+func (e *Engine) Pause(ticks int) {
+	if ticks < 0 {
+		panic("streamsim: negative pause")
+	}
+	e.pause = ticks
+}
+
+// Paused reports whether a pause is active.
+func (e *Engine) Paused() bool { return e.pause > 0 }
+
+// BeginSlot redraws the per-slot capacity noise. Call once per decision
+// slot (the cloud-noise level varies slot-to-slot, not tick-to-tick).
+func (e *Engine) BeginSlot() {
+	if e.cfg.NoiseSigma == 0 {
+		return
+	}
+	s := e.cfg.NoiseSigma
+	for i := range e.slotNoise {
+		// mean-1 log-normal: E[exp(N(−σ²/2, σ))] = 1
+		e.slotNoise[i] = e.cfg.RNG.LogNormal(-s*s/2, s)
+	}
+}
+
+// TrueCapacity returns the noise-free capacity of operator i at its
+// current allocation (test/oracle use only — the optimizer must not call
+// this).
+func (e *Engine) TrueCapacity(i int) float64 {
+	return e.capacityOf(i)
+}
+
+// ModelCapacities returns the noise-free capacity vector for an arbitrary
+// parallelism vector — the oracle used for brute-force optimum search.
+func (e *Engine) ModelCapacities(tasks []int) ([]float64, error) {
+	if len(tasks) != len(e.tasks) {
+		return nil, fmt.Errorf("streamsim: got %d task counts, want %d", len(tasks), len(e.tasks))
+	}
+	out := make([]float64, len(tasks))
+	for i, n := range tasks {
+		out[i] = e.cfg.Models[i].Capacity(n)
+	}
+	return out, nil
+}
+
+// DroppedTotal returns cumulative tuples dropped to buffer caps.
+func (e *Engine) DroppedTotal() float64 { return e.dropped }
+
+// ProcessedTotal returns cumulative sink throughput (the paper's
+// "number of processed tuples").
+func (e *Engine) ProcessedTotal() float64 { return e.processed }
+
+// BufferedTotal returns the backlog summed over all edges.
+func (e *Engine) BufferedTotal() float64 {
+	var s float64
+	for _, v := range e.edgeBuf {
+		s += v
+	}
+	return s
+}
+
+// Tick advances the simulation by one second with the given offered source
+// rates (tuples/s per dense source index).
+func (e *Engine) Tick(rates []float64) (TickStats, error) {
+	if len(rates) != e.g.NumSources() {
+		return TickStats{}, fmt.Errorf("streamsim: got %d rates, want %d sources", len(rates), e.g.NumSources())
+	}
+	st := TickStats{Ops: make([]OpTick, e.g.NumOperators())}
+
+	// Sources always emit: backlog accumulates during pauses.
+	for si, src := range e.g.Sources() {
+		rate := rates[si]
+		if rate < 0 || math.IsNaN(rate) {
+			return TickStats{}, fmt.Errorf("streamsim: invalid rate %v for source %d", rate, si)
+		}
+		for _, succ := range e.g.Succs(src) {
+			key := dag.EdgeKey{From: src, To: succ}
+			e.addToEdge(key, e.g.Alpha(key)*rate, &st)
+		}
+	}
+
+	if e.pause > 0 {
+		e.pause--
+		st.Paused = true
+		// Buffers still count as arrived for the stats; nothing drains,
+		// so the latency estimate saturates.
+		for i := range st.Ops {
+			st.Ops[i].Buffered = e.opBacklog(i)
+			if st.Ops[i].Buffered > 0 {
+				st.LatencySec = MaxLatencySec
+			}
+		}
+		return st, nil
+	}
+
+	// Operators in topological order. Sinks absorb flows as they appear.
+	for _, id := range e.order {
+		switch e.g.KindOf(id) {
+		case dag.Operator:
+			e.tickOperator(id, &st)
+		case dag.Sink:
+			for _, p := range e.g.Preds(id) {
+				key := dag.EdgeKey{From: p, To: id}
+				st.SinkThroughput += e.edgeBuf[key]
+				e.edgeBuf[key] = 0
+			}
+		}
+	}
+	e.processed += st.SinkThroughput
+	for i := range st.Ops {
+		op := &st.Ops[i]
+		switch {
+		case op.Buffered <= 0:
+			// no queueing delay at this operator
+		case op.Consumed > 0:
+			st.LatencySec += op.Buffered / op.Consumed
+		default:
+			st.LatencySec = MaxLatencySec
+		}
+		if st.LatencySec > MaxLatencySec {
+			st.LatencySec = MaxLatencySec
+		}
+	}
+	return st, nil
+}
+
+func (e *Engine) tickOperator(id dag.NodeID, st *TickStats) {
+	oi := e.g.OperatorIndex(id)
+	preds := e.g.Preds(id)
+	succs := e.g.Succs(id)
+
+	q := make([]float64, len(preds))
+	var backlog float64
+	for k, p := range preds {
+		q[k] = e.edgeBuf[dag.EdgeKey{From: p, To: id}]
+		backlog += q[k]
+	}
+
+	y := e.capacityOf(oi) * e.slotNoise[oi]
+	op := &st.Ops[oi]
+	op.Capacity = y
+
+	if y <= 0 {
+		op.Buffered = backlog
+		return
+	}
+
+	// Desired emissions and the feasible uniform drain fraction φ.
+	demands := make([]float64, len(succs))
+	phi := 1.0
+	anyDemand := false
+	for j, s := range succs {
+		key := dag.EdgeKey{From: id, To: s}
+		d := e.g.H(key).Eval(q)
+		demands[j] = d
+		if d > 0 {
+			anyDemand = true
+			r := e.g.Alpha(key) * y / d
+			if r < phi {
+				phi = r
+			}
+		}
+	}
+	if !anyDemand {
+		op.Buffered = backlog
+		return
+	}
+	if phi > 1 {
+		phi = 1
+	}
+
+	var emitted float64
+	for j, s := range succs {
+		out := phi * demands[j]
+		if out <= 0 {
+			continue
+		}
+		emitted += out
+		e.addToEdge(dag.EdgeKey{From: id, To: s}, out, st)
+	}
+	var consumed float64
+	for k, p := range preds {
+		take := phi * q[k]
+		e.edgeBuf[dag.EdgeKey{From: p, To: id}] = q[k] - take
+		consumed += take
+	}
+
+	op.Consumed = consumed
+	op.Emitted = emitted
+	op.Buffered = backlog - consumed
+
+	util := emitted / y
+	if util > 1 {
+		util = 1
+	}
+	if e.cfg.UtilNoiseSigma > 0 {
+		util += e.cfg.RNG.Normal(0, e.cfg.UtilNoiseSigma)
+	}
+	if util < 1e-4 {
+		util = 1e-4 // a running JVM never reports exactly zero CPU
+	}
+	if util > 1 {
+		util = 1
+	}
+	op.Util = util
+}
+
+// addToEdge appends flow to an edge buffer, enforcing the cap and counting
+// arrivals for the destination operator.
+func (e *Engine) addToEdge(key dag.EdgeKey, amount float64, st *TickStats) {
+	if amount <= 0 {
+		return
+	}
+	if oi := e.g.OperatorIndex(key.To); oi >= 0 {
+		st.Ops[oi].Arrived += amount
+	}
+	next := e.edgeBuf[key] + amount
+	if e.cfg.MaxBufferPerEdge > 0 && next > e.cfg.MaxBufferPerEdge {
+		e.dropped += next - e.cfg.MaxBufferPerEdge
+		next = e.cfg.MaxBufferPerEdge
+	}
+	e.edgeBuf[key] = next
+}
+
+func (e *Engine) opBacklog(oi int) float64 {
+	id := e.g.Operators()[oi]
+	var s float64
+	for _, p := range e.g.Preds(id) {
+		s += e.edgeBuf[dag.EdgeKey{From: p, To: id}]
+	}
+	return s
+}
+
+// topoOperatorsAndSinks returns the graph's topological order restricted
+// to operators and sinks (sources are handled separately).
+func topoOperatorsAndSinks(g *dag.Graph) []dag.NodeID {
+	var out []dag.NodeID
+	for _, id := range topoOrder(g) {
+		if g.KindOf(id) != dag.Source {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// topoOrder re-derives a topological order from the public Graph API.
+// (The Graph keeps its order private; recomputing here keeps the packages
+// decoupled and the cost is negligible at graph sizes of ≤ 10 nodes.)
+func topoOrder(g *dag.Graph) []dag.NodeID {
+	var all []dag.NodeID
+	all = append(all, g.Sources()...)
+	all = append(all, g.Operators()...)
+	all = append(all, g.Sinks()...)
+
+	indeg := make(map[dag.NodeID]int, len(all))
+	for _, id := range all {
+		indeg[id] = len(g.Preds(id))
+	}
+	var queue, order []dag.NodeID
+	for _, id := range all {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, s := range g.Succs(id) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	return order
+}

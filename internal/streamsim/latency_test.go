@@ -1,0 +1,100 @@
+package streamsim
+
+import (
+	"testing"
+
+	"dragster/internal/dag"
+)
+
+func latencyEngine(t testing.TB, perTask float64) *Engine {
+	t.Helper()
+	b := dag.NewBuilder()
+	src := b.Source("source")
+	op := b.Operator("op")
+	snk := b.Sink("sink")
+	if err := b.Chain([]dag.NodeID{src, op, snk}, []dag.ThroughputFunc{nil, dag.Selectivity(1)}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := NewLinearCurve(perTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Graph: g, Models: []CapacityModel{lin}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestLatencyZeroWhenKeepingUp(t *testing.T) {
+	e := latencyEngine(t, 1000)
+	var st TickStats
+	var err error
+	for i := 0; i < 5; i++ {
+		st, err = e.Tick([]float64{100})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.LatencySec != 0 {
+		t.Errorf("latency with ample capacity = %v, want 0", st.LatencySec)
+	}
+}
+
+func TestLatencyGrowsUnderOverload(t *testing.T) {
+	e := latencyEngine(t, 50) // capacity 50 vs offered 100
+	var prev float64
+	for i := 0; i < 10; i++ {
+		st, err := e.Tick([]float64{100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && st.LatencySec <= prev {
+			t.Fatalf("tick %d: latency %v did not grow from %v", i, st.LatencySec, prev)
+		}
+		prev = st.LatencySec
+	}
+	// Little's law check: after 10 ticks the backlog is 10·50 = 500
+	// tuples draining at 50/s → ≈10 s.
+	if prev < 8 || prev > 12 {
+		t.Errorf("latency after 10 overloaded ticks = %v, want ≈10", prev)
+	}
+}
+
+func TestLatencySaturatesDuringPause(t *testing.T) {
+	e := latencyEngine(t, 1000)
+	if _, err := e.Tick([]float64{100}); err != nil {
+		t.Fatal(err)
+	}
+	e.Pause(2)
+	st, err := e.Tick([]float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LatencySec != MaxLatencySec {
+		t.Errorf("paused latency = %v, want MaxLatencySec", st.LatencySec)
+	}
+}
+
+func TestLatencyCapped(t *testing.T) {
+	// Zero-capacity operator with backlog: latency must cap, not go Inf.
+	e := latencyEngine(t, 10)
+	if err := e.SetTasks([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	var st TickStats
+	var err error
+	for i := 0; i < 3; i++ {
+		st, err = e.Tick([]float64{100})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.LatencySec != MaxLatencySec {
+		t.Errorf("latency with dead operator = %v, want MaxLatencySec", st.LatencySec)
+	}
+}

@@ -1,0 +1,118 @@
+package streamsim
+
+import (
+	"math"
+	"testing"
+
+	"dragster/internal/dag"
+)
+
+func TestNewCPUScaledCurveValidation(t *testing.T) {
+	base, err := NewLinearCurve(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCPUScaledCurve(nil, 1000, 0.8); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewCPUScaledCurve(base, 0, 0.8); err == nil {
+		t.Error("zero ref accepted")
+	}
+	if _, err := NewCPUScaledCurve(base, 1000, 1.5); err == nil {
+		t.Error("exponent > 1 accepted")
+	}
+}
+
+func TestCPUScaledCurveValues(t *testing.T) {
+	base, err := NewLinearCurve(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCPUScaledCurve(base, 1000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the reference CPU the curve matches the base.
+	if got := c.CapacityWithCPU(3, 1000); math.Abs(got-300) > 1e-9 {
+		t.Errorf("at ref = %v, want 300", got)
+	}
+	if got := c.Capacity(3); math.Abs(got-300) > 1e-9 {
+		t.Errorf("Capacity = %v, want 300", got)
+	}
+	// 4× CPU at exponent 0.5 doubles capacity.
+	if got := c.CapacityWithCPU(3, 4000); math.Abs(got-600) > 1e-9 {
+		t.Errorf("at 4× CPU = %v, want 600", got)
+	}
+	if got := c.CapacityWithCPU(3, 0); got != 0 {
+		t.Errorf("zero CPU = %v", got)
+	}
+}
+
+func TestEngineSetCPUChangesCapacity(t *testing.T) {
+	b := dag.NewBuilder()
+	src := b.Source("s")
+	op := b.Operator("op")
+	snk := b.Sink("k")
+	if err := b.Chain([]dag.NodeID{src, op, snk}, []dag.ThroughputFunc{nil, dag.Selectivity(1)}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewLinearCurve(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := NewCPUScaledCurve(base, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Graph: g, Models: []CapacityModel{curve}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.TrueCapacity(0); got != 100 { // 1 task × default 1000m
+		t.Fatalf("default capacity = %v", got)
+	}
+	if err := e.SetCPU([]int{2000}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.TrueCapacity(0); got != 200 {
+		t.Errorf("capacity at 2000m = %v, want 200", got)
+	}
+	// Throughput follows: offered 150/s is processable only at 2000m.
+	var st TickStats
+	for i := 0; i < 5; i++ {
+		st, err = e.Tick([]float64{150})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(st.SinkThroughput-150) > 1e-9 {
+		t.Errorf("throughput at 2000m = %v", st.SinkThroughput)
+	}
+	// Validation and copy semantics.
+	if err := e.SetCPU([]int{1, 2}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if err := e.SetCPU([]int{-5}); err == nil {
+		t.Error("negative CPU accepted")
+	}
+	cp := e.CPU()
+	cp[0] = 9
+	if e.CPU()[0] == 9 {
+		t.Error("CPU leaked internal slice")
+	}
+	// Non-resource-aware models ignore CPU.
+	e2, err := New(Config{Graph: g, Models: []CapacityModel{base}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.SetCPU([]int{4000}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.TrueCapacity(0); got != 100 {
+		t.Errorf("non-resource-aware capacity changed: %v", got)
+	}
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Sinusoid models the gradual diurnal drift the paper's introduction
+// motivates: rates oscillate around base with the given amplitude and
+// period (in slots). amplitude must leave rates non-negative.
+func Sinusoid(base, amplitude []float64, periodSlots int) (RateFunc, error) {
+	if len(base) == 0 || len(base) != len(amplitude) {
+		return nil, errors.New("workload: Sinusoid needs matching non-empty base and amplitude")
+	}
+	if periodSlots < 2 {
+		return nil, fmt.Errorf("workload: Sinusoid period %d must be ≥ 2 slots", periodSlots)
+	}
+	for i := range base {
+		if base[i] < 0 || amplitude[i] < 0 || amplitude[i] > base[i] {
+			return nil, fmt.Errorf("workload: Sinusoid source %d: base %v amplitude %v invalid", i, base[i], amplitude[i])
+		}
+	}
+	b := append([]float64(nil), base...)
+	a := append([]float64(nil), amplitude...)
+	return func(slot, sec int) []float64 {
+		// Continuous phase across the slot so drift is truly gradual.
+		phase := 2 * math.Pi * (float64(slot) + float64(sec)/86400) / float64(periodSlots)
+		out := make([]float64, len(b))
+		for i := range out {
+			out[i] = b[i] + a[i]*math.Sin(phase)
+		}
+		return out
+	}, nil
+}
+
+// Trace replays an explicit per-slot rate schedule, clamping to the last
+// entry when the run outlives the trace. Each row must cover every
+// source.
+func Trace(rows [][]float64) (RateFunc, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("workload: empty trace")
+	}
+	n := len(rows[0])
+	if n == 0 {
+		return nil, errors.New("workload: trace rows must be non-empty")
+	}
+	cp := make([][]float64, len(rows))
+	for i, r := range rows {
+		if len(r) != n {
+			return nil, fmt.Errorf("workload: trace row %d has %d rates, want %d", i, len(r), n)
+		}
+		for j, v := range r {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("workload: trace row %d rate %d = %v invalid", i, j, v)
+			}
+		}
+		cp[i] = append([]float64(nil), r...)
+	}
+	return func(slot, _ int) []float64 {
+		if slot >= len(cp) {
+			return cp[len(cp)-1]
+		}
+		if slot < 0 {
+			return cp[0]
+		}
+		return cp[slot]
+	}, nil
+}
+
+// LoadTraceCSV parses a rate trace with one row per slot and one column
+// per source (plain numbers, no header). Lines starting with '#' are
+// skipped.
+func LoadTraceCSV(r io.Reader) (RateFunc, error) {
+	cr := csv.NewReader(r)
+	cr.Comment = '#'
+	cr.TrimLeadingSpace = true
+	var rows [][]float64
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: reading trace CSV: %w", err)
+		}
+		row := make([]float64, len(rec))
+		for i, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: trace CSV field %q: %w", f, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return Trace(rows)
+}

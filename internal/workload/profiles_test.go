@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSinusoidValidation(t *testing.T) {
+	if _, err := Sinusoid(nil, nil, 10); err == nil {
+		t.Error("empty base accepted")
+	}
+	if _, err := Sinusoid([]float64{10}, []float64{1, 2}, 10); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Sinusoid([]float64{10}, []float64{11}, 10); err == nil {
+		t.Error("amplitude above base accepted (negative rates)")
+	}
+	if _, err := Sinusoid([]float64{10}, []float64{1}, 1); err == nil {
+		t.Error("degenerate period accepted")
+	}
+}
+
+func TestSinusoidShape(t *testing.T) {
+	f, err := Sinusoid([]float64{100}, []float64{50}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f(0, 0)[0]; math.Abs(got-100) > 1e-9 {
+		t.Errorf("phase 0 rate = %v, want 100", got)
+	}
+	if got := f(2, 0)[0]; math.Abs(got-150) > 1e-9 { // quarter period: peak
+		t.Errorf("peak rate = %v, want 150", got)
+	}
+	if got := f(6, 0)[0]; math.Abs(got-50) > 1e-9 { // three quarters: trough
+		t.Errorf("trough rate = %v, want 50", got)
+	}
+	// Periodicity and non-negativity over several cycles.
+	for slot := 0; slot < 64; slot++ {
+		v := f(slot, 0)[0]
+		if v < 0 {
+			t.Fatalf("negative rate %v at slot %d", v, slot)
+		}
+		if w := f(slot+8, 0)[0]; math.Abs(v-w) > 1e-9 {
+			t.Fatalf("not periodic: slot %d %v vs %v", slot, v, w)
+		}
+	}
+}
+
+func TestTrace(t *testing.T) {
+	f, err := Trace([][]float64{{10, 20}, {30, 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f(0, 5); got[0] != 10 || got[1] != 20 {
+		t.Errorf("row 0 = %v", got)
+	}
+	if got := f(1, 0); got[0] != 30 {
+		t.Errorf("row 1 = %v", got)
+	}
+	// Clamping beyond the trace end and below zero.
+	if got := f(99, 0); got[1] != 40 {
+		t.Errorf("clamped row = %v", got)
+	}
+	if got := f(-1, 0); got[0] != 10 {
+		t.Errorf("negative slot row = %v", got)
+	}
+	if _, err := Trace(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := Trace([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged trace accepted")
+	}
+	if _, err := Trace([][]float64{{math.NaN()}}); err == nil {
+		t.Error("NaN trace accepted")
+	}
+}
+
+func TestLoadTraceCSV(t *testing.T) {
+	src := `# slot traces: two sources
+50000, 20000
+60000, 25000
+40000, 15000
+`
+	f, err := LoadTraceCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f(1, 0); got[0] != 60000 || got[1] != 25000 {
+		t.Errorf("row 1 = %v", got)
+	}
+	if _, err := LoadTraceCSV(strings.NewReader("abc,1")); err == nil {
+		t.Error("non-numeric CSV accepted")
+	}
+	if _, err := LoadTraceCSV(strings.NewReader("")); err == nil {
+		t.Error("empty CSV accepted")
+	}
+}
