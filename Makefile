@@ -2,13 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro repro-quick examples clean
+.PHONY: all build test race bench lint repro repro-quick examples clean
 
-all: build test
+all: build test lint
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+# Static-analysis suite (internal/analysis): simclock, detrand, maporder,
+# errflow — the determinism and error-handling invariants. Runs through
+# `go vet -vettool` so analyzers see build-accurate type information.
+lint:
+	$(GO) build -o bin/dragsterlint ./cmd/dragsterlint
+	$(GO) vet -vettool=$(CURDIR)/bin/dragsterlint ./...
 
 test:
 	$(GO) test ./...
@@ -37,3 +44,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
+	rm -rf bin

@@ -238,10 +238,14 @@ func runAblation(slotSec int, seed int64) error {
 	}
 	fmt.Println("Ablation: extended (target-tracking) vs conventional GP-UCB acquisition")
 	fmt.Printf("%-26s %14s %14s %16s\n", "acquisition", "processed 1e9", "cost $", "cost per 1e9 $")
-	for name, factory := range map[string]experiment.PolicyFactory{
-		"extended (paper)": experiment.DragsterSaddle(),
-		"conventional":     experiment.DragsterConventionalUCB(),
+	for _, pf := range []struct {
+		name    string
+		factory experiment.PolicyFactory
+	}{
+		{"extended (paper)", experiment.DragsterSaddle()},
+		{"conventional", experiment.DragsterConventionalUCB()},
 	} {
+		name, factory := pf.name, pf.factory
 		res, err := experiment.Run(experiment.Scenario{
 			Spec:        spec,
 			Rates:       cyc,

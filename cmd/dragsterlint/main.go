@@ -1,0 +1,27 @@
+// Command dragsterlint runs the project's static-analysis suite
+// (internal/analysis): simclock, detrand, maporder, and errflow — the
+// machine-enforced determinism and error-handling invariants the
+// reproduction depends on.
+//
+// It speaks the `go vet` unit-checker protocol, so the supported way to
+// run it is through the go tool, which supplies per-package type
+// information from the build cache:
+//
+//	go build -o bin/dragsterlint ./cmd/dragsterlint
+//	go vet -vettool=bin/dragsterlint ./...
+//
+// or simply `make lint`. Run a subset with -check=simclock,errflow.
+// Suppress a single finding with a trailing or preceding comment:
+//
+//	//lint:allow <rule> <reason>
+package main
+
+import (
+	"os"
+
+	"dragster/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,173 @@
+// Package analysis implements dragsterlint, the project's static-analysis
+// suite. It enforces the determinism, lock, and error-handling invariants
+// the reproduction depends on: simulated time instead of wall-clock time,
+// seeded randomness through stats.RNG, order-stable iteration wherever
+// output or float accumulation is involved, and no silently discarded
+// errors from the fallible cluster/store/flink APIs.
+//
+// The package is intentionally stdlib-only (go/ast + go/types); the driver
+// in cmd/dragsterlint speaks the `go vet -vettool` unit-checker protocol so
+// the suite runs with full, build-accurate type information and no
+// third-party dependencies.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ModulePath is the import-path prefix of this repository. Analyzers only
+// fire inside the module; dependencies and the standard library are never
+// diagnosed.
+const ModulePath = "dragster"
+
+// Pass carries one type-checked package through the analyzers, mirroring
+// the shape of golang.org/x/tools/go/analysis.Pass without the dependency.
+type Pass struct {
+	Fset *token.FileSet
+	// Files are the parsed syntax trees of the package, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package (never nil, but may be incomplete if
+	// type checking partially failed).
+	Pkg *types.Package
+	// Info holds the type-checker's fact tables for the files.
+	Info *types.Info
+}
+
+// Path returns the package's import path. Test-variant suffixes such as
+// "pkg [pkg.test]" are stripped so allowlist prefix checks see the real
+// import path.
+func (p *Pass) Path() string {
+	if p.Pkg == nil {
+		return ""
+	}
+	path := p.Pkg.Path()
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Rule    string // analyzer name, e.g. "simclock"
+	Message string
+}
+
+// Analyzer is a single invariant checker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) []Diagnostic
+}
+
+// All returns the full suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		SimclockAnalyzer(),
+		DetrandAnalyzer(),
+		MaporderAnalyzer(),
+		ErrflowAnalyzer(),
+	}
+}
+
+// ByName returns the named analyzers, or an error naming the first unknown
+// one. An empty list selects the whole suite.
+func ByName(names []string) ([]*Analyzer, error) {
+	all := All()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			known := make([]string, 0, len(byName))
+			for k := range byName {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown analyzer %q (have %v)", n, known)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunSuite runs the analyzers over the pass, drops suppressed findings
+// (//lint:allow), and returns the survivors sorted by position.
+func RunSuite(pass *Pass, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		diags = append(diags, a.Run(pass)...)
+	}
+	diags = filterSuppressed(pass, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Rule < diags[j].Rule
+	})
+	return diags
+}
+
+// inModule reports whether the pass's package belongs to this repository.
+func inModule(p *Pass) bool {
+	path := p.Path()
+	return path == ModulePath || hasPathPrefix(path, ModulePath)
+}
+
+// hasPathPrefix reports whether path is prefix itself or a slash-separated
+// descendant of it ("a/b" matches prefix "a", "a/bc" does not).
+func hasPathPrefix(path, prefix string) bool {
+	return len(path) > len(prefix) && path[:len(prefix)] == prefix && path[len(prefix)] == '/'
+}
+
+// pkgFunc resolves a call expression to a top-level function of the named
+// package (e.g. pkg="time", returning "Now" for time.Now()). It returns
+// "", false when the call is anything else — a method, a local function, a
+// conversion, or a selector on a non-package operand. Renamed and
+// dot-imports are resolved through the type-checker, so `import t "time";
+// t.Now()` is still caught.
+func pkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		// Only package-qualified selectors: the operand must be a PkgName.
+		base, ok := ast.Unparen(fn.X).(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		if _, ok := info.Uses[base].(*types.PkgName); !ok {
+			return "", false
+		}
+		id = fn.Sel
+	case *ast.Ident:
+		id = fn // dot-imported
+	default:
+		return "", false
+	}
+	obj := info.Uses[id]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// posFile returns the filename a position belongs to.
+func posFile(fset *token.FileSet, pos token.Pos) string {
+	return fset.Position(pos).Filename
+}

@@ -1,0 +1,173 @@
+package analysis
+
+// Test harness: fixture packages live under testdata/src/<import path>/
+// and are parsed and type-checked in-process. Expected findings are
+// declared inline with
+//
+//	code() // want `regexp`
+//
+// comments: every diagnostic must match a want on its line, and every
+// want must be matched by a diagnostic. Fixture packages may import each
+// other (testdata/src is consulted first) and the standard library (the
+// source importer resolves it from GOROOT).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+type fixtureLoader struct {
+	fset     *token.FileSet
+	root     string // testdata/src
+	passes   map[string]*Pass
+	fallback types.Importer
+}
+
+func newFixtureLoader() *fixtureLoader {
+	fset := token.NewFileSet()
+	return &fixtureLoader{
+		fset:     fset,
+		root:     filepath.Join("testdata", "src"),
+		passes:   make(map[string]*Pass),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer over the fixture tree with a standard
+// library fallback.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if pass, ok := l.passes[path]; ok {
+		return pass.Pkg, nil
+	}
+	if fi, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil && fi.IsDir() {
+		pass, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pass.Pkg, nil
+	}
+	return l.fallback.Import(path)
+}
+
+// load parses and type-checks the fixture package at the given import
+// path (relative to testdata/src).
+func (l *fixtureLoader) load(path string) (*Pass, error) {
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := &types.Config{Importer: l}
+	info := newTypesInfo()
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking fixture %s: %v", path, err)
+	}
+	pass := &Pass{Fset: l.fset, Files: files, Pkg: pkg, Info: info}
+	l.passes[path] = pass
+	return pass, nil
+}
+
+var wantRE = regexp.MustCompile("// want (`[^`]+`(?: `[^`]+`)*)")
+
+// runFixture loads the fixture package, runs the analyzers through
+// RunSuite (so //lint:allow suppression is active), and verifies the
+// diagnostics against the package's want annotations.
+func runFixture(t *testing.T, pkgPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	loader := newFixtureLoader()
+	pass, err := loader.load(pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunSuite(pass, analyzers)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				for _, quoted := range strings.Split(m[1], "` `") {
+					pat := strings.Trim(quoted, "`")
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pass.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic [%s] %s", pos.Filename, pos.Line, d.Rule, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+// expectClean asserts the analyzers produce no diagnostics at all on the
+// fixture package (used for allowlisted-package fixtures).
+func expectClean(t *testing.T, pkgPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	loader := newFixtureLoader()
+	pass, err := loader.load(pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range RunSuite(pass, analyzers) {
+		t.Errorf("%s: unexpected diagnostic [%s] %s", pass.Fset.Position(d.Pos), d.Rule, d.Message)
+	}
+}

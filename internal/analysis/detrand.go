@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// detrandSourcePkgs are the randomness packages whose process-global
+// generators are forbidden. math/rand's top-level functions share a
+// runtime-seeded global Rand; math/rand/v2 has no Seed at all, so its
+// top-level functions can never be made reproducible.
+var detrandSourcePkgs = []string{"math/rand", "math/rand/v2"}
+
+// DetrandAnalyzer forbids nondeterministic randomness: top-level math/rand
+// calls and rand.New with anything but an inline rand.NewSource(seed).
+// Stochastic components must draw from internal/stats.RNG (or a *rand.Rand
+// derived from an explicit seed), which is what makes every experiment
+// replayable from its seed.
+func DetrandAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "detrand",
+		Doc: "forbid top-level math/rand functions and unseeded rand.New; all " +
+			"randomness must flow through internal/stats.RNG or an explicit " +
+			"rand.New(rand.NewSource(seed))",
+		Run: runDetrand,
+	}
+}
+
+func runDetrand(pass *Pass) []Diagnostic {
+	if !inModule(pass) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, pkg := range detrandSourcePkgs {
+				name, ok := pkgFunc(pass.Info, call, pkg)
+				if !ok {
+					continue
+				}
+				switch name {
+				case "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+					// Source constructors take explicit seeds; fine anywhere.
+					return true
+				case "New":
+					if seededSource(pass, call, pkg) {
+						return true
+					}
+					diags = append(diags, Diagnostic{
+						Pos:  call.Pos(),
+						Rule: "detrand",
+						Message: "rand.New with an opaque source; construct the source inline " +
+							"as rand.New(rand.NewSource(seed)) or use internal/stats.RNG so " +
+							"the seed provenance is auditable",
+					})
+					return true
+				default:
+					diags = append(diags, Diagnostic{
+						Pos:  call.Pos(),
+						Rule: "detrand",
+						Message: fmt.Sprintf("rand.%s uses the process-global generator and breaks "+
+							"run-to-run reproducibility; draw from internal/stats.RNG (seeded) instead", name),
+					})
+					return true
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// seededSource reports whether the sole argument of rand.New is an inline
+// seeded source constructor from the same rand package.
+func seededSource(pass *Pass, call *ast.CallExpr, pkg string) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	argCall, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name, ok := pkgFunc(pass.Info, argCall, pkg)
+	if !ok {
+		return false
+	}
+	switch name {
+	case "NewSource", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package analysis
+
+// The detrandbad fixture carries both directions of every rule: the
+// flagged global-generator calls (want annotations) and the allowlist
+// edge cases — rand.New(rand.NewSource(seed)) and the v2 equivalent are
+// permitted everywhere, including inside a package full of violations.
+// runFixture fails on any unexpected diagnostic, so a false positive on
+// the seeded pattern fails this test.
+
+import "testing"
+
+func TestDetrandFixture(t *testing.T) {
+	runFixture(t, "dragster/internal/detrandbad", DetrandAnalyzer())
+}

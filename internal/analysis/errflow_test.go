@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestErrflowFixture(t *testing.T) {
+	runFixture(t, "dragster/internal/errflowbad", ErrflowAnalyzer())
+}

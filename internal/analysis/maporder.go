@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MaporderAnalyzer flags `range` over a map whose body does something
+// order-sensitive: appends to a slice, writes to an output/figure writer,
+// or accumulates floating-point values. Go randomizes map iteration order,
+// so any of those turns a rendered table or accumulated statistic into a
+// different byte stream on every run — the classic nondeterministic-figures
+// bug. Iterate a sorted key slice (or a stable order list like
+// experiment.PolicyOrder) instead.
+//
+// The canonical fix is itself a map range that appends:
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)
+//
+// so appends are exempt when every appended slice is passed to a sort. or
+// slices. function later in the same block. Output writes and float
+// accumulation have no such repair and are always flagged.
+func MaporderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc: "flag range-over-map loops that append to slices, write output, or " +
+			"accumulate floats; map order is randomized, so such loops make " +
+			"figures and statistics nondeterministic (collect-then-sort is exempt)",
+		Run: runMaporder,
+	}
+}
+
+// fmtWriters are fmt functions that emit bytes; calling one inside a
+// map-ordered loop interleaves output nondeterministically.
+var fmtWriters = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// writerMethods are method names that, called on anything, count as
+// writing to an output sink (io.Writer, strings.Builder, bufio.Writer,
+// csv.Writer, tabwriter...).
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteRune": true,
+	"WriteByte": true, "WriteAll": true, "Printf": true,
+}
+
+// mapEffect is one order-sensitive operation found in a range body.
+type mapEffect struct {
+	reason string
+	pos    token.Pos
+	root   string // appended slice's root identifier ("" for non-appends)
+}
+
+func runMaporder(pass *Pass) []Diagnostic {
+	if !inModule(pass) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			list := stmtList(n)
+			if list == nil {
+				return true
+			}
+			for i, s := range list {
+				rng, ok := unlabel(s).(*ast.RangeStmt)
+				if !ok || !rangesOverMap(pass.Info, rng) {
+					continue
+				}
+				for _, eff := range orderEffects(pass, rng) {
+					if eff.root != "" && sortedLater(pass, list[i+1:], eff.root) {
+						continue
+					}
+					diags = append(diags, Diagnostic{
+						Pos:  eff.pos,
+						Rule: "maporder",
+						Message: fmt.Sprintf("range over map %s %s inside the loop; map order is "+
+							"randomized per run — iterate sorted keys (or a stable order slice) instead",
+							exprString(rng.X), eff.reason),
+					})
+					break // one diagnostic per range statement
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// stmtList returns the statement list a node carries, if any. Every
+// statement lives in exactly one of these, so visiting them covers all
+// range statements while exposing their following siblings.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+func unlabel(s ast.Stmt) ast.Stmt {
+	for {
+		l, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = l.Stmt
+	}
+}
+
+func rangesOverMap(info *types.Info, rng *ast.RangeStmt) bool {
+	tv, ok := info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// orderEffects scans a range body for order-dependent operations. Nested
+// statements count too: the nondeterminism of the outer map range taints
+// everything under it. Irreparable effects (output writes, float
+// accumulation) are ordered before appends, which may yet be excused by a
+// following sort.
+func orderEffects(pass *Pass, rng *ast.RangeStmt) []mapEffect {
+	var hard, appends []mapEffect
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isAppend(pass.Info, n) {
+				root := ""
+				if len(n.Args) > 0 {
+					root = rootIdent(n.Args[0])
+				}
+				appends = append(appends, mapEffect{"appends to a slice", n.Pos(), root})
+				return true
+			}
+			if name, ok := pkgFunc(pass.Info, n, "fmt"); ok && fmtWriters[name] {
+				hard = append(hard, mapEffect{"writes output via fmt." + name, n.Pos(), ""})
+				return true
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && writerMethods[sel.Sel.Name] {
+				// Method call (not a package-qualified function): a writer sink.
+				if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if _, isPkg := pass.Info.Uses[base].(*types.PkgName); isPkg {
+						return true
+					}
+				}
+				hard = append(hard, mapEffect{"writes output via ." + sel.Sel.Name, n.Pos(), ""})
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if len(n.Lhs) == 1 && isFloat(pass.Info, n.Lhs[0]) {
+					hard = append(hard, mapEffect{
+						"accumulates floating-point values (rounding is order-dependent)", n.Pos(), ""})
+				}
+			}
+		}
+		return true
+	})
+	return append(hard, appends...)
+}
+
+// sortedLater reports whether a following sibling statement passes the
+// named slice to a sort.* or slices.* function — the collect-then-sort
+// idiom that restores determinism.
+func sortedLater(pass *Pass, rest []ast.Stmt, root string) bool {
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, pkg := range []string{"sort", "slices"} {
+				if _, ok := pkgFunc(pass.Info, call, pkg); ok {
+					for _, arg := range call.Args {
+						if rootIdent(arg) == root {
+							found = true
+							return false
+						}
+					}
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent returns the base identifier of a possibly nested selector,
+// index, star, or paren expression ("out" for out.Paths[name]), or "".
+func rootIdent(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// exprString renders a short source-ish form of an expression for
+// diagnostics (identifiers and selectors; anything else is elided).
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,32 @@
+package analysis
+
+import (
+	"go/parser"
+	"testing"
+)
+
+func TestMaporderFixture(t *testing.T) {
+	runFixture(t, "dragster/internal/maporderbad", MaporderAnalyzer())
+}
+
+// rootIdent drives the collect-then-sort exemption: the appended slice
+// and the sorted slice are matched by base identifier.
+func TestRootIdent(t *testing.T) {
+	cases := map[string]string{
+		"out":             "out",
+		"out.Paths[name]": "out",
+		"(*p).xs":         "p",
+		"m[k].field":      "m",
+		"f().xs":          "", // calls have no stable root
+		"3 + 4":           "",
+	}
+	for src, want := range cases {
+		e, err := parser.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", src, err)
+		}
+		if got := rootIdent(e); got != want {
+			t.Errorf("rootIdent(%q) = %q, want %q", src, got, want)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// simclockAllowed lists the wall-clock packages: everything under these
+// prefixes may talk to the real clock. The rest of the module must take
+// the simulation clock (slot indices / streamsim ticks) instead, because a
+// single time.Now() in a measurement path makes runs non-repeatable.
+var simclockAllowed = []string{
+	ModulePath + "/internal/daemon",    // bridges sim slots to wall time by design
+	ModulePath + "/internal/telemetry", // stamps reports for external consumers
+	ModulePath + "/cmd",                // binaries own their own runtime concerns
+	ModulePath + "/examples",           // runnable demos, not measurement code
+}
+
+// simclockForbidden are the time functions that read or wait on the wall
+// clock. Pure-value helpers (time.Duration arithmetic, time.Unix, ...)
+// stay legal everywhere.
+var simclockForbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// SimclockAnalyzer forbids wall-clock time access outside the allowlist.
+func SimclockAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "simclock",
+		Doc: "forbid time.Now/Sleep/After and friends outside wall-clock packages " +
+			"(internal/daemon, internal/telemetry, cmd/, examples/); simulation code " +
+			"must take the simulated clock so seeded runs replay bit-for-bit",
+		Run: runSimclock,
+	}
+}
+
+func runSimclock(pass *Pass) []Diagnostic {
+	if !inModule(pass) || simclockPkgAllowed(pass.Path()) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := pkgFunc(pass.Info, call, "time")
+			if !ok || !simclockForbidden[name] {
+				return true
+			}
+			// Tests may time out / poll with the real clock.
+			if isTestFile(pass.Fset, call.Pos()) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  call.Pos(),
+				Rule: "simclock",
+				Message: fmt.Sprintf("time.%s reads the wall clock in simulation package %s; "+
+					"plumb the simulated clock instead (allowed only under %v)",
+					name, pass.Path(), simclockAllowed),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+func simclockPkgAllowed(path string) bool {
+	for _, p := range simclockAllowed {
+		if path == p || hasPathPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,36 @@
+package analysis
+
+import "testing"
+
+func TestSimclockFlagsWallClock(t *testing.T) {
+	runFixture(t, "dragster/internal/simclockbad", SimclockAnalyzer())
+}
+
+func TestSimclockAllowsDaemon(t *testing.T) {
+	expectClean(t, "dragster/internal/daemon", SimclockAnalyzer())
+}
+
+func TestSimclockAllowsCmd(t *testing.T) {
+	expectClean(t, "dragster/cmd/faketool", SimclockAnalyzer())
+}
+
+func TestSimclockPkgAllowlist(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"dragster/internal/daemon", true},
+		{"dragster/internal/daemon/sub", true},
+		{"dragster/internal/telemetry", true},
+		{"dragster/cmd/dragsterd", true},
+		{"dragster/examples/yahoo", true},
+		{"dragster/internal/daemonx", false}, // prefix must stop at a path boundary
+		{"dragster/internal/experiment", false},
+		{"dragster/internal/streamsim", false},
+	}
+	for _, c := range cases {
+		if got := simclockPkgAllowed(c.path); got != c.want {
+			t.Errorf("simclockPkgAllowed(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression directives have the form
+//
+//	//lint:allow <rule> <reason>
+//
+// and silence diagnostics of <rule> on the same line (trailing comment) or
+// on the line directly below the comment. A reason is mandatory — a bare
+// `//lint:allow simclock` does not suppress anything, so every exemption
+// is forced to document itself.
+
+type suppression struct {
+	file string
+	line int
+	rule string
+}
+
+// suppressions collects every well-formed //lint:allow directive in the
+// pass, keyed by the line it exempts.
+func collectSuppressions(pass *Pass) map[suppression]bool {
+	out := make(map[suppression]bool)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rule, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				// Exempt the comment's own line (trailing form) and the
+				// next line (preceding form).
+				out[suppression{pos.Filename, pos.Line, rule}] = true
+				out[suppression{pos.Filename, pos.Line + 1, rule}] = true
+			}
+		}
+	}
+	return out
+}
+
+// parseAllow extracts the rule from a `//lint:allow <rule> <reason>`
+// comment. It returns ok=false for comments that are not directives or
+// that omit the reason.
+func parseAllow(text string) (rule string, ok bool) {
+	const prefix = "//lint:allow "
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	fields := strings.Fields(text[len(prefix):])
+	if len(fields) < 2 { // rule plus at least one word of reason
+		return "", false
+	}
+	return fields[0], true
+}
+
+// filterSuppressed drops diagnostics covered by an allow directive.
+func filterSuppressed(pass *Pass, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	allowed := collectSuppressions(pass)
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pass.Fset.Position(d.Pos)
+		if allowed[suppression{pos.Filename, pos.Line, d.Rule}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// isTestFile reports whether the file a node belongs to is a _test.go
+// file. Several analyzers relax their rules inside tests.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(posFile(fset, pos), "_test.go")
+}

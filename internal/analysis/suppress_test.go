@@ -1,0 +1,25 @@
+package analysis
+
+import "testing"
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text string
+		rule string
+		ok   bool
+	}{
+		{"//lint:allow simclock startup banner needs real time", "simclock", true},
+		{"//lint:allow errflow best-effort metrics push", "errflow", true},
+		{"//lint:allow detrand", "", false},            // reason is mandatory
+		{"//lint:allow  detrand why", "detrand", true}, // extra spaces tolerated
+		{"// lint:allow simclock reason", "", false},   // space before lint: not a directive
+		{"//nolint:simclock", "", false},
+		{"// regular comment", "", false},
+	}
+	for _, c := range cases {
+		rule, ok := parseAllow(c.text)
+		if ok != c.ok || (ok && rule != c.rule) {
+			t.Errorf("parseAllow(%q) = (%q, %v), want (%q, %v)", c.text, rule, ok, c.rule, c.ok)
+		}
+	}
+}

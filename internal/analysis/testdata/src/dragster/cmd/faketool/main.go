@@ -1,0 +1,11 @@
+// Command faketool stands in for a binary under dragster/cmd/: the whole
+// cmd/ tree is allowlisted for wall-clock use.
+package main
+
+import "time"
+
+func main() {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	_ = time.Since(start)
+}

@@ -1,0 +1,11 @@
+// Package cluster stands in for dragster/internal/cluster in errflow
+// fixtures.
+package cluster
+
+import "errors"
+
+type Cluster struct{}
+
+func (c *Cluster) ReportCPUUsage(pod string, milli int) error {
+	return errors.New("unknown pod")
+}

@@ -1,0 +1,10 @@
+// Package daemon stands in for dragster/internal/daemon: an allowlisted
+// wall-clock package. The simclock analyzer must stay silent here.
+package daemon
+
+import "time"
+
+func Stamp() int64 {
+	time.Sleep(time.Millisecond)
+	return time.Now().Unix()
+}

@@ -1,0 +1,7 @@
+// Package dag stands in for dragster/internal/dag in errflow fixtures:
+// ObserveRates is a configured extra in the fallible set.
+package dag
+
+type ThroughputLearner interface {
+	ObserveRates(consumed, out float64) error
+}

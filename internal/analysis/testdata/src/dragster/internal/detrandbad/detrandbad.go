@@ -1,0 +1,32 @@
+// Package detrandbad exercises the detrand analyzer: top-level math/rand
+// calls and opaque-source rand.New are flagged everywhere; explicitly
+// seeded constructors are allowed everywhere.
+package detrandbad
+
+import (
+	"math/rand"
+
+	mrand "math/rand"
+)
+
+func Bad() {
+	_ = rand.Intn(10)                  // want `rand\.Intn uses the process-global generator`
+	_ = rand.Float64()                 // want `rand\.Float64 uses the process-global generator`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle uses the process-global generator`
+	_ = mrand.Int63()                  // want `rand\.Int63 uses the process-global generator`
+	_ = rand.Perm(4)                   // want `rand\.Perm uses the process-global generator`
+	src := rand.NewSource(1)           // source constructors take explicit seeds: allowed
+	_ = rand.New(src)                  // want `rand\.New with an opaque source`
+}
+
+func SeededAllowedEverywhere() int {
+	// The canonical explicitly-seeded pattern is legal in any package.
+	r := rand.New(rand.NewSource(42))
+	r2 := rand.New(rand.NewSource(r.Int63()))
+	return r.Intn(10) + r2.Intn(10) // methods on a *rand.Rand are always fine
+}
+
+func Waived() int {
+	//lint:allow detrand fixture demonstrates reasoned suppression
+	return rand.Int()
+}

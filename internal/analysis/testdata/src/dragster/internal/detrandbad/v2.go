@@ -1,0 +1,15 @@
+package detrandbad
+
+import rv2 "math/rand/v2"
+
+// math/rand/v2 has no Seed at all, so its top-level functions can never
+// be reproducible; its seeded source constructors remain fine.
+func BadV2() int {
+	_ = rv2.Float64()  // want `rand\.Float64 uses the process-global generator`
+	return rv2.IntN(3) // want `rand\.IntN uses the process-global generator`
+}
+
+func SeededV2() uint64 {
+	r := rv2.New(rv2.NewPCG(1, 2)) // explicitly seeded source: allowed
+	return r.Uint64()
+}

@@ -1,0 +1,56 @@
+// Package errflowbad exercises the errflow analyzer: discarded error
+// returns from the configured fallible set (store/flink/cluster plus
+// extras) are flagged in every form; handled errors and out-of-set calls
+// are not.
+package errflowbad
+
+import (
+	"fmt"
+
+	"dragster/internal/cluster"
+	"dragster/internal/dag"
+	"dragster/internal/store"
+)
+
+func Bad(d *store.DB, c *cluster.Cluster, l dag.ThroughputLearner) {
+	store.Save("x")         // want `statement discards the error from dragster/internal/store\.Save`
+	_ = store.Save("x")     // want `blank assignment discards the error from dragster/internal/store\.Save`
+	v, _ := store.Load("x") // want `blank assignment discards the error from dragster/internal/store\.Load`
+	_ = v
+	d.Append(1)                    // want `statement discards the error from dragster/internal/store\.Append`
+	c.ReportCPUUsage("pod-0", 250) // want `statement discards the error from dragster/internal/cluster\.ReportCPUUsage`
+	_ = l.ObserveRates(1, 2)       // want `blank assignment discards the error from dragster/internal/dag\.ObserveRates`
+	defer store.Save("x")          // want `defer discards the error from dragster/internal/store\.Save`
+	go store.Save("x")             // want `go statement discards the error from dragster/internal/store\.Save`
+}
+
+func Handled(d *store.DB) error {
+	if err := store.Save("x"); err != nil {
+		return fmt.Errorf("save: %w", err)
+	}
+	s, err := store.Load("x")
+	if err != nil {
+		return err
+	}
+	_ = s
+	return d.Append(1) // propagated, not discarded
+}
+
+func OutOfSet() {
+	_ = fmt.Errorf("boom") // fmt is not in the fallible set
+	_ = store.Count()      // no error result
+	localFallible()        // local functions are not configured
+}
+
+func localFallible() error { return nil }
+
+func Waived() {
+	//lint:allow errflow fixture demonstrates the preceding-line waiver
+	store.Save("x")
+	_ = store.Save("x") //lint:allow errflow fixture demonstrates the trailing waiver
+}
+
+func MissingReasonDoesNotWaive() {
+	//lint:allow errflow
+	store.Save("x") // want `statement discards the error`
+}

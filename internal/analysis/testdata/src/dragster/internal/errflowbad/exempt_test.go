@@ -1,0 +1,10 @@
+package errflowbad
+
+import "dragster/internal/store"
+
+// _test.go files are exempt from errflow: tests discard errors on purpose
+// when exercising failure paths. Nothing here is flagged.
+func helperUsedInTests() {
+	_ = store.Save("x")
+	store.Save("y")
+}

@@ -1,0 +1,101 @@
+// Package maporderbad exercises the maporder analyzer: order-sensitive
+// effects inside range-over-map loops are flagged; the collect-then-sort
+// idiom, ordered iteration, and order-free bodies are not.
+package maporderbad
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+	"strings"
+)
+
+func AppendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `range over map m appends to a slice`
+	}
+	return keys
+}
+
+func CollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // canonical repair: sorted right below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func CollectThenSlicesSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // slices.Sort counts as a repair too
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func WriteOutput(w io.Writer, m map[string]float64) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%v\n", k, v) // want `writes output via fmt\.Fprintf`
+	}
+}
+
+func BuilderOutput(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want `writes output via \.WriteString`
+	}
+	return sb.String()
+}
+
+func FloatAccum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `accumulates floating-point values`
+	}
+	return s
+}
+
+func IntAccumOK(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v // integer accumulation is order-independent
+	}
+	return n
+}
+
+func MapCopyOK(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v // map-to-map copy is order-independent
+	}
+	return out
+}
+
+func SliceRangeOK(xs []string, w io.Writer) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x) // slice iteration is ordered: fine
+		fmt.Fprintln(w, x)
+	}
+	return out
+}
+
+func NestedTaint(m map[string][]float64) []float64 {
+	var out []float64
+	for _, vs := range m {
+		for _, v := range vs {
+			out = append(out, v) // want `range over map m appends to a slice`
+		}
+	}
+	return out
+}
+
+func Waived(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(w, k) //lint:allow maporder fixture demonstrates reasoned suppression
+	}
+}

@@ -1,0 +1,41 @@
+// Package simclockbad exercises the simclock analyzer. Its import path is
+// NOT on the wall-clock allowlist, so every wall-clock read below must be
+// flagged, while pure time-value arithmetic stays legal.
+package simclockbad
+
+import (
+	"time"
+
+	tt "time"
+)
+
+func Bad() time.Duration {
+	t0 := time.Now()                    // want `time\.Now reads the wall clock`
+	time.Sleep(10 * time.Millisecond)   // want `time\.Sleep reads the wall clock`
+	<-time.After(time.Millisecond)      // want `time\.After reads the wall clock`
+	_ = tt.Now()                        // want `time\.Now reads the wall clock`
+	tick := time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+	tick.Stop()
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func PureValuesAllowed() time.Duration {
+	// Value helpers never touch the wall clock: legal everywhere.
+	d := 3 * time.Second
+	t := time.Unix(0, 0)
+	return d + time.Duration(t.Nanosecond())
+}
+
+func Waived() time.Time {
+	//lint:allow simclock fixture demonstrates the preceding-line waiver
+	return time.Now()
+}
+
+func WaivedTrailing() time.Time {
+	return time.Now() //lint:allow simclock fixture demonstrates the trailing waiver
+}
+
+func MissingReasonDoesNotWaive() time.Time {
+	//lint:allow simclock
+	return time.Now() // want `time\.Now reads the wall clock`
+}

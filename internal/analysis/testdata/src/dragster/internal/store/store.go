@@ -1,0 +1,17 @@
+// Package store stands in for dragster/internal/store in errflow
+// fixtures: every error-returning function here is in the fallible set.
+package store
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+func Save(path string) error { return errBoom }
+
+func Load(path string) (string, error) { return "", errBoom }
+
+func Count() int { return 0 } // no error result: never flagged
+
+type DB struct{}
+
+func (d *DB) Append(n int) error { return errBoom }

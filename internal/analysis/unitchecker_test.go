@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVersionHandshake(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-V=full"}, &out, &errb); code != 0 {
+		t.Fatalf("Main(-V=full) = %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "dragsterlint version ") || !strings.Contains(got, "buildID=") {
+		t.Errorf("handshake line = %q, want name/version/buildID shape", got)
+	}
+}
+
+func TestMainRequiresConfig(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main(nil, &out, &errb); code != 2 {
+		t.Errorf("Main() = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "cfg") {
+		t.Errorf("stderr = %q, want usage hint", errb.String())
+	}
+}
+
+func TestMainRejectsUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-check=nosuch", "x.cfg"}, &out, &errb); code != 2 {
+		t.Errorf("Main(-check=nosuch) = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr = %q, want unknown-analyzer error", errb.String())
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName(nil)
+	if err != nil || len(all) != 4 {
+		t.Fatalf("ByName(nil) = %d analyzers, err %v; want 4, nil", len(all), err)
+	}
+	two, err := ByName([]string{"errflow", "simclock"})
+	if err != nil || len(two) != 2 || two[0].Name != "errflow" || two[1].Name != "simclock" {
+		t.Fatalf("ByName(errflow, simclock) = %v, %v", two, err)
+	}
+	if _, err := ByName([]string{"bogus"}); err == nil {
+		t.Fatal("ByName(bogus) succeeded, want error")
+	}
+}
+
+// writeCfg drops a minimal vet config into dir and returns its path.
+func writeCfg(t *testing.T, dir string, cfg vetConfig) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunUnitSkipsVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg := writeCfg(t, dir, vetConfig{
+		ImportPath: "dragster/internal/whatever",
+		VetxOnly:   true,
+		VetxOutput: vetx,
+	})
+	diags, _, err := runUnit(cfg, All())
+	if err != nil || len(diags) != 0 {
+		t.Fatalf("runUnit(vetxOnly) = %v diags, err %v", diags, err)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+}
+
+func TestRunUnitSkipsForeignModules(t *testing.T) {
+	dir := t.TempDir()
+	cfg := writeCfg(t, dir, vetConfig{
+		ImportPath: "time", // standard library: full of time.Now, must be skipped
+		GoFiles:    []string{"does-not-exist.go"},
+	})
+	diags, _, err := runUnit(cfg, All())
+	if err != nil || len(diags) != 0 {
+		t.Fatalf("runUnit(stdlib pkg) = %v diags, err %v (must skip before parsing)", diags, err)
+	}
+}
+
+// TestVettoolIntegration builds cmd/dragsterlint and runs it the way the
+// Makefile does — through `go vet -vettool` — asserting the repo itself
+// is violation-free end to end. This exercises the real -V=full
+// handshake, cfg parsing, and export-data type-checking paths.
+func TestVettoolIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping go-vet integration run")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	tool := filepath.Join(t.TempDir(), "dragsterlint")
+	build := exec.Command(goTool, "build", "-o", tool, "dragster/cmd/dragsterlint")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building dragsterlint: %v\n%s", err, out)
+	}
+	vet := exec.Command(goTool, "vet", "-vettool="+tool, "./...")
+	vet.Dir = repoRoot(t)
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed: %v\n%s", err, out)
+	}
+}
+
+// repoRoot walks up from the package directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}

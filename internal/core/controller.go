@@ -103,6 +103,10 @@ type Controller struct {
 	lastTasks  []int
 	lastCPU    []int // last observed per-pod CPU (0 = unknown/1-D configs)
 	slot       int
+	// rejectedSamples counts throughput-learner observations rejected as
+	// invalid (non-positive or non-finite rates); a high count means the
+	// monitor is feeding the Theorem-2 regression garbage.
+	rejectedSamples int
 }
 
 // New validates cfg and builds the controller, warm-starting from the
@@ -278,6 +282,11 @@ func (c *Controller) Searcher(i int) *ucb.Searcher { return c.searchers[i] }
 // Duals returns the level-1 dual variables.
 func (c *Controller) Duals() []float64 { return c.level1.Duals() }
 
+// RejectedSamples returns how many throughput-learner observations were
+// rejected as invalid so far; nonzero values indicate degraded Theorem-2
+// model fitting.
+func (c *Controller) RejectedSamples() int { return c.rejectedSamples }
+
 // LastTargets is set by Decide; see Decide.
 type LastTargets struct {
 	Y           []float64 // level-1 target capacities
@@ -380,8 +389,11 @@ func (c *Controller) DecideConfigs(snap *monitor.Snapshot) ([][]float64, *LastTa
 			key := dag.EdgeKey{From: id, To: s}
 			if learner, ok := c.g.H(key).(dag.ThroughputLearner); ok {
 				// Per-edge output approximated by the α split of the
-				// aggregate; invalid samples are rejected by the learner.
-				_ = learner.ObserveRates(om.ConsumedRate, om.OutRate*c.g.Alpha(key))
+				// aggregate; the learner rejects invalid samples, which we
+				// count rather than silently drop.
+				if err := learner.ObserveRates(om.ConsumedRate, om.OutRate*c.g.Alpha(key)); err != nil {
+					c.rejectedSamples++
+				}
 			}
 		}
 	}

@@ -82,7 +82,9 @@ func Fig4(budget int, slots int, slotSeconds int, seed int64) (*Fig4Result, erro
 		out.Heatmap[mTask-1] = row
 	}
 
-	for name, factory := range PolicySet() {
+	policies := PolicySet()
+	for _, name := range PolicyOrder {
+		factory := policies[name]
 		sc := Scenario{
 			Spec:        spec,
 			Rates:       rates,
@@ -159,14 +161,15 @@ func Fig5(slots, slotSeconds int, seed int64) ([]Fig5Row, error) {
 				Minutes:          make(map[string]float64),
 				SpeedupVsDhalion: make(map[string]float64),
 			}
-			for name, factory := range PolicySet() {
+			policies := PolicySet()
+			for _, name := range PolicyOrder {
 				res, err := Run(Scenario{
 					Spec:        spec,
 					Rates:       rates,
 					Slots:       slots,
 					SlotSeconds: slotSeconds,
 					Seed:        seed,
-				}, factory)
+				}, policies[name])
 				if err != nil {
 					return nil, fmt.Errorf("fig5 %s-%s/%s: %w", spec.Name, level, name, err)
 				}
@@ -232,8 +235,9 @@ func Fig6(slots, phaseSlots, slotSeconds int, seed int64) (*Fig6Result, error) {
 			PricePerCoreHour: 1.0,
 		}, factory)
 	}
-	for name, factory := range PolicySet() {
-		res, err := run(name, factory)
+	policies := PolicySet()
+	for _, name := range PolicyOrder {
+		res, err := run(name, policies[name])
 		if err != nil {
 			return nil, fmt.Errorf("fig6 %s: %w", name, err)
 		}
@@ -284,7 +288,8 @@ func Fig7(slots, changeSlot, slotSeconds int, seed int64) (*Fig7Result, error) {
 		Phases:      make(map[string][]PhaseStats),
 		Results:     make(map[string]*Result),
 	}
-	for name, factory := range PolicySet() {
+	policies := PolicySet()
+	for _, name := range PolicyOrder {
 		res, err := Run(Scenario{
 			Spec:             spec,
 			Rates:            prof,
@@ -292,7 +297,7 @@ func Fig7(slots, changeSlot, slotSeconds int, seed int64) (*Fig7Result, error) {
 			SlotSeconds:      slotSeconds,
 			Seed:             seed,
 			PricePerCoreHour: 1.0, // see Fig6
-		}, factory)
+		}, policies[name])
 		if err != nil {
 			return nil, fmt.Errorf("fig7 %s: %w", name, err)
 		}

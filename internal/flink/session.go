@@ -266,7 +266,9 @@ func (j *Job) RunSlot(seconds int, rateAt func(sec int) []float64) (*SlotReport,
 		if err := acc.Tick(rates, st); err != nil {
 			return nil, err
 		}
-		j.reportPodUsage(st.Ops)
+		if err := j.reportPodUsage(st.Ops); err != nil {
+			return nil, err
+		}
 		j.session.k8s.Tick(1)
 	}
 	names := make([]string, j.graph.NumOperators())
@@ -285,7 +287,7 @@ func (j *Job) RunSlot(seconds int, rateAt func(sec int) []float64) (*SlotReport,
 
 // reportPodUsage spreads each operator's utilization uniformly over its
 // running pods and reports it to the metrics server.
-func (j *Job) reportPodUsage(ops []streamsim.OpTick) {
+func (j *Job) reportPodUsage(ops []streamsim.OpTick) error {
 	byDep := make(map[string]float64, len(j.deployments))
 	for i, dep := range j.deployments {
 		byDep[dep] = ops[i].Util
@@ -295,10 +297,13 @@ func (j *Job) reportPodUsage(ops []streamsim.OpTick) {
 		if !ok || p.Phase != cluster.PodRunning {
 			continue
 		}
-		// Errors can only be ErrUnknownPod for pods racing deletion, which
-		// cannot happen in this single-threaded loop; ignore defensively.
-		_ = j.session.k8s.ReportCPUUsage(p.Name, int(util*float64(p.Spec.CPUMilli)))
+		if err := j.session.k8s.ReportCPUUsage(p.Name, int(util*float64(p.Spec.CPUMilli))); err != nil {
+			// Only ErrUnknownPod is possible, and only if the pod list went
+			// stale mid-loop — a real bug worth surfacing, not swallowing.
+			return fmt.Errorf("flink: report usage for %s: %w", p.Name, err)
+		}
 	}
+	return nil
 }
 
 // LastReport returns the most recent slot report, or nil before the first

@@ -239,7 +239,9 @@ func (t *Topology) RunSlot(seconds int, rateAt func(sec int) []float64) (*teleme
 		if err := acc.Tick(rates, st); err != nil {
 			return nil, err
 		}
-		t.reportPodUsage(st.Ops)
+		if err := t.reportPodUsage(st.Ops); err != nil {
+			return nil, err
+		}
 		t.storm.k8s.Tick(1)
 	}
 	names := make([]string, t.graph.NumOperators())
@@ -256,7 +258,7 @@ func (t *Topology) RunSlot(seconds int, rateAt func(sec int) []float64) (*teleme
 	return rep, nil
 }
 
-func (t *Topology) reportPodUsage(ops []streamsim.OpTick) {
+func (t *Topology) reportPodUsage(ops []streamsim.OpTick) error {
 	byDep := make(map[string]float64, len(t.deps))
 	for i, dep := range t.deps {
 		byDep[dep] = ops[i].Util
@@ -266,8 +268,13 @@ func (t *Topology) reportPodUsage(ops []streamsim.OpTick) {
 		if !ok || p.Phase != cluster.PodRunning {
 			continue
 		}
-		_ = t.storm.k8s.ReportCPUUsage(p.Name, int(util*float64(p.Spec.CPUMilli)))
+		if err := t.storm.k8s.ReportCPUUsage(p.Name, int(util*float64(p.Spec.CPUMilli))); err != nil {
+			// Only ErrUnknownPod is possible, and only if the pod list went
+			// stale mid-loop — a real bug worth surfacing, not swallowing.
+			return fmt.Errorf("storm: report usage for %s: %w", p.Name, err)
+		}
 	}
+	return nil
 }
 
 // LastReport returns the most recent slot report (nil before the first).

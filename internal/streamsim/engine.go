@@ -210,11 +210,16 @@ func (e *Engine) DroppedTotal() float64 { return e.dropped }
 // "number of processed tuples").
 func (e *Engine) ProcessedTotal() float64 { return e.processed }
 
-// BufferedTotal returns the backlog summed over all edges.
+// BufferedTotal returns the backlog summed over all edges. Edges are
+// visited in topological order so the float sum is identical across runs
+// (map iteration order would make the rounding, and thus rendered
+// figures, nondeterministic).
 func (e *Engine) BufferedTotal() float64 {
 	var s float64
-	for _, v := range e.edgeBuf {
-		s += v
+	for _, id := range e.order {
+		for _, p := range e.g.Preds(id) {
+			s += e.edgeBuf[dag.EdgeKey{From: p, To: id}]
+		}
 	}
 	return s
 }
