@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint repro repro-quick examples clean
+.PHONY: all build test race bench bench-snapshot lint repro repro-quick examples clean
 
 all: build test lint
 
@@ -25,6 +25,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Snapshot the GP-stack micro-benchmarks (posterior, incremental refit,
+# UCB select, LML search, Cholesky) into BENCH_gp.json so perf PRs can
+# diff ns/op and allocs/op against the recorded trajectory.
+bench-snapshot:
+	$(GO) test -run NONE -bench 'Posterior|ObserveRefit|Select|MaximizeLML|Cholesky' -benchmem \
+		./internal/gp ./internal/ucb ./internal/linalg | $(GO) run ./cmd/benchsnapshot -out BENCH_gp.json
 
 # Regenerate every paper table and figure at the paper's 10-minute slots.
 repro:

@@ -1,0 +1,103 @@
+// Command benchsnapshot parses `go test -bench -benchmem` output from
+// stdin and writes a machine-diffable JSON snapshot of ns/op, B/op and
+// allocs/op per benchmark. `make bench-snapshot` pipes the GP/linalg/UCB
+// micro-benchmarks through it into BENCH_gp.json so successive perf PRs
+// can diff the trajectory instead of eyeballing terminal output.
+//
+// Entries are emitted sorted by benchmark name (CPU-count suffixes like
+// "-8" stripped) so the file is deterministic for a given machine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches e.g.
+//
+//	BenchmarkSelect200Obs-8   1522   791694 ns/op   10 B/op   1 allocs/op
+//
+// The -benchmem columns are optional so plain -bench output still parses.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Snapshot is the BENCH_gp.json document.
+type Snapshot struct {
+	GeneratedBy string  `json:"generated_by"`
+	Benchmarks  []Entry `json:"benchmarks"`
+}
+
+func run(out string) error {
+	var entries []Entry
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("benchsnapshot: iterations %q: %w", m[2], err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return fmt.Errorf("benchsnapshot: ns/op %q: %w", m[3], err)
+		}
+		e := Entry{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			if e.BytesPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+				return fmt.Errorf("benchsnapshot: B/op %q: %w", m[4], err)
+			}
+			if e.AllocsPerOp, err = strconv.ParseFloat(m[5], 64); err != nil {
+				return fmt.Errorf("benchsnapshot: allocs/op %q: %w", m[5], err)
+			}
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("benchsnapshot: reading stdin: %w", err)
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("benchsnapshot: no benchmark lines found on stdin")
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	doc := Snapshot{GeneratedBy: "make bench-snapshot", Benchmarks: entries}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchsnapshot: marshal: %w", err)
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return fmt.Errorf("benchsnapshot: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchsnapshot: wrote %d benchmarks to %s\n", len(entries), out)
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_gp.json", "output path (- for stdout)")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

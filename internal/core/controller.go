@@ -76,6 +76,12 @@ type Config struct {
 	// (0 disables; the defaults are well-calibrated for the built-in
 	// workloads, so this mainly serves custom capacity scales).
 	HyperoptEvery int
+	// HyperoptWorkers bounds the worker pool each hyperparameter refit
+	// uses to evaluate the LML grid in parallel (0 = automatic, capped at
+	// GOMAXPROCS). The grid argmax is reduced in grid order, so any worker
+	// count yields byte-identical kernels; this knob only trades refit
+	// latency against CPU.
+	HyperoptWorkers int
 	// RNG supplies posterior draws when Acquisition is ucb.Thompson
 	// (ignored otherwise).
 	RNG *stats.RNG
@@ -195,6 +201,7 @@ func New(cfg Config) (*Controller, error) {
 			Kernel:           capacityKernel(cfg.Candidates[i], capScale),
 			ExplorationScale: cfg.ExplorationScale,
 			RefitEvery:       cfg.HyperoptEvery,
+			LMLWorkers:       cfg.HyperoptWorkers,
 			RNG:              cfg.RNG,
 		})
 		if err != nil {

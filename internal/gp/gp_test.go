@@ -337,6 +337,69 @@ func BenchmarkPosterior50Obs(b *testing.B) {
 	}
 }
 
+// benchmarkObserveRefit drives the Observe→Posterior cycle for nObs
+// points. fromScratch dirties the fit before every Observe, forcing the
+// pre-incremental full-refactorization path — the perf baseline the
+// rank-1 Extend path is measured against (BENCH_gp.json tracks both).
+func benchmarkObserveRefit(b *testing.B, nObs int, fromScratch bool) {
+	rng := stats.NewRNG(12)
+	pts := make([][]float64, nObs)
+	vals := make([]float64, nObs)
+	for j := range pts {
+		pts[j] = []float64{rng.Uniform(0, 10)}
+		vals[j] = rng.Normal(0, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := mustRegressor(b, mustSE(b, 1.5, 1), 0.1)
+		b.StartTimer()
+		for j := range pts {
+			if fromScratch {
+				if err := r.SetKernel(r.Kernel()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := r.Observe(pts[j], vals[j]); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := r.Posterior(pts[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkObserveRefit50(b *testing.B)  { benchmarkObserveRefit(b, 50, false) }
+func BenchmarkObserveRefit200(b *testing.B) { benchmarkObserveRefit(b, 200, false) }
+
+// BenchmarkObserveRefitFromScratch200 is the pre-change O(T⁴) reference
+// path for the speedup ratio recorded in BENCH_gp.json.
+func BenchmarkObserveRefitFromScratch200(b *testing.B) { benchmarkObserveRefit(b, 200, true) }
+
+func BenchmarkMaximizeLML(b *testing.B) {
+	rng := stats.NewRNG(14)
+	r := mustRegressor(b, mustSE(b, 1, 1), 0.5)
+	for i := 0; i < 40; i++ {
+		x := rng.Uniform(0, 12)
+		if err := r.Observe([]float64{x}, 20*math.Sin(x/3)+rng.Normal(0, 0.7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	grid, err := DefaultHyperGrid(12, 400)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := r.MaximizeLML(grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkObserveRefitCycle(b *testing.B) {
 	rng := stats.NewRNG(11)
 	b.ResetTimer()

@@ -4,15 +4,20 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 )
 
 // SetKernel swaps the regressor's kernel, keeping all observations; the
-// posterior is refitted lazily. Used by hyperparameter optimization.
+// posterior is refitted lazily from scratch (the incremental factor is
+// kernel-specific) and the kernel epoch advances so cross-covariance
+// caches invalidate. Used by hyperparameter optimization.
 func (r *Regressor) SetKernel(k Kernel) error {
 	if k == nil {
 		return errors.New("gp: nil kernel")
 	}
 	r.kernel = k
+	r.kernelEpoch++
 	r.dirty = true
 	return nil
 }
@@ -42,50 +47,91 @@ func DefaultHyperGrid(diameter, targetVar float64) (HyperGrid, error) {
 
 // MaximizeLML fits SE-kernel hyperparameters by exhaustive search over the
 // grid, maximizing the log marginal likelihood of the regressor's current
-// observations. On success the regressor's kernel is replaced by the best
-// one and the winning (lengthScale, variance, lml) triple is returned.
-// With fewer than 3 observations it is a no-op returning ErrTooFewPoints.
+// observations, with a worker count chosen automatically. See
+// MaximizeLMLWorkers.
 func (r *Regressor) MaximizeLML(grid HyperGrid) (lengthScale, variance, lml float64, err error) {
+	return r.MaximizeLMLWorkers(grid, 0)
+}
+
+// MaximizeLMLWorkers evaluates every (lengthScale, variance) grid point's
+// log marginal likelihood on a snapshot of the observations across a
+// bounded worker pool (workers ≤ 0 selects min(GOMAXPROCS, grid size)).
+// Each worker builds and factorizes its own Gram matrix, so the live
+// regressor — kernel, factorization, information gain — is untouched
+// until a winner is chosen; every non-success path therefore leaves the
+// pre-call kernel in place. The argmax is reduced serially in grid order
+// (length scales outer, variances inner, first strict improvement wins),
+// so the selected kernel is byte-identical regardless of worker count or
+// goroutine scheduling. On success the regressor's kernel is replaced by
+// the best one and the winning (lengthScale, variance, lml) triple is
+// returned. With fewer than 3 observations it is a no-op returning
+// ErrTooFewPoints.
+func (r *Regressor) MaximizeLMLWorkers(grid HyperGrid, workers int) (lengthScale, variance, lml float64, err error) {
 	if r.Len() < 3 {
 		return 0, 0, 0, ErrTooFewPoints
 	}
 	if len(grid.LengthScales) == 0 || len(grid.Variances) == 0 {
 		return 0, 0, 0, errors.New("gp: empty hyperparameter grid")
 	}
-	orig := r.kernel
-	bestLML := math.Inf(-1)
-	var bestK Kernel
+	type gridPoint struct{ ls, v float64 }
+	points := make([]gridPoint, 0, len(grid.LengthScales)*len(grid.Variances))
 	for _, ls := range grid.LengthScales {
 		for _, v := range grid.Variances {
-			k, kerr := NewSquaredExponential(ls, v)
-			if kerr != nil {
-				return 0, 0, 0, kerr
-			}
-			if err := r.SetKernel(k); err != nil {
-				return 0, 0, 0, err
-			}
-			cand, lerr := r.LogMarginalLikelihood()
-			if lerr != nil {
-				continue // numerically infeasible combination; skip
-			}
-			if cand > bestLML {
-				bestLML = cand
-				bestK = k
-				lengthScale, variance = ls, v
-			}
+			points = append(points, gridPoint{ls, v})
 		}
 	}
-	if bestK == nil {
-		// Nothing evaluated cleanly; restore and report.
-		if rerr := r.SetKernel(orig); rerr != nil {
-			return 0, 0, 0, rerr
+	// Validate the whole grid before spawning workers so an invalid
+	// hyperparameter pair errors deterministically with nothing mutated.
+	kernels := make([]Kernel, len(points))
+	for i, p := range points {
+		k, kerr := NewSquaredExponential(p.ls, p.v)
+		if kerr != nil {
+			return 0, 0, 0, kerr
 		}
+		kernels[i] = k
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	// xs/ys are append-only and not mutated for the duration of the call
+	// (the Regressor is single-owner), so sharing the backing slices with
+	// the workers is a read-only snapshot.
+	lmls := make([]float64, len(points))
+	feasible := make([]bool, len(points))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(points); i += workers {
+				mean, chol, alpha, ferr := fitSystem(r.xs, r.ys, r.ySum, kernels[i], r.noiseVar)
+				if ferr != nil {
+					continue // numerically infeasible combination; skip
+				}
+				lmls[i] = lmlFromFit(r.ys, mean, alpha, chol)
+				feasible[i] = true
+			}
+		}(w)
+	}
+	wg.Wait()
+	best := -1
+	bestLML := math.Inf(-1)
+	for i := range points {
+		if feasible[i] && lmls[i] > bestLML {
+			bestLML, best = lmls[i], i
+		}
+	}
+	if best == -1 {
+		// Nothing evaluated cleanly; the live kernel was never swapped.
 		return 0, 0, 0, errors.New("gp: no feasible hyperparameters in grid")
 	}
-	if err := r.SetKernel(bestK); err != nil {
+	if err := r.SetKernel(kernels[best]); err != nil {
 		return 0, 0, 0, err
 	}
-	return lengthScale, variance, bestLML, nil
+	return points[best].ls, points[best].v, bestLML, nil
 }
 
 // ErrTooFewPoints is returned by MaximizeLML before enough observations

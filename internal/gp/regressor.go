@@ -21,21 +21,40 @@ var ErrEmpty = errors.New("gp: no observations")
 //	μ_t(x)  = k_t(x)ᵀ (K_t + σ²I)⁻¹ y_t
 //	σ_t²(x) = k(x,x) − k_t(x)ᵀ (K_t + σ²I)⁻¹ k_t(x)
 //
-// computed via one Cholesky factorization per refit. Observations are
-// centred on their empirical mean so unexplored regions revert to the mean
-// rather than to zero. A Regressor is not safe for concurrent use.
+// Observations are centred on their empirical mean so unexplored regions
+// revert to the mean rather than to zero.
+//
+// The Cholesky factor of K_t + σ²I is maintained incrementally: Observe
+// extends the existing factor by one bordered row in O(n²)
+// (linalg.Cholesky.Extend) instead of refactorizing from scratch in O(n³),
+// so a T-observation search costs O(T³) total rather than O(T⁴). A full
+// refactorization happens only on a kernel swap (SetKernel / MaximizeLML)
+// or after a numerically failed extension. Posterior queries reuse
+// per-regressor scratch buffers, so the steady-state query path is
+// allocation-free. A Regressor is not safe for concurrent use.
 type Regressor struct {
 	kernel   Kernel
 	noiseVar float64 // σ²
 
-	xs [][]float64
-	ys []float64
+	xs   [][]float64
+	ys   []float64
+	ySum float64 // running Σy, same addition order as a fresh loop
 
 	// fitted state
 	dirty bool
 	mean  float64
 	chol  *linalg.Cholesky
 	alpha []float64 // (K+σ²I)⁻¹ (y − mean)
+
+	// kernelEpoch increments on every SetKernel; callers that cache
+	// kernel-derived quantities (the UCB cross-covariance cache) compare
+	// epochs to detect swaps.
+	kernelEpoch uint64
+
+	// scratch buffers reused across queries (never returned to callers).
+	kxBuf  []float64
+	vBuf   []float64
+	rowBuf []float64
 
 	// accumulated information gain ½ Σ log(1 + σ⁻²·σ²_{t−1}(x_t)),
 	// the empirical counterpart of Γ_T in Theorem 1.
@@ -57,6 +76,11 @@ func NewRegressor(kernel Kernel, noiseVar float64) (*Regressor, error) {
 // Kernel returns the kernel in use.
 func (r *Regressor) Kernel() Kernel { return r.kernel }
 
+// KernelEpoch returns a counter that increments on every SetKernel call.
+// Caches of kernel-derived values are valid only while the epoch they were
+// filled under still matches.
+func (r *Regressor) KernelEpoch() uint64 { return r.kernelEpoch }
+
 // NoiseVar returns the observation noise variance σ².
 func (r *Regressor) NoiseVar() float64 { return r.noiseVar }
 
@@ -73,9 +97,21 @@ func (r *Regressor) Observations() ([][]float64, []float64) {
 	return xs, append([]float64(nil), r.ys...)
 }
 
-// Observe appends a noisy sample y at point x. The point is copied. The
-// posterior is refitted lazily on the next query. Before storing, the
-// predictive variance at x is folded into the running information gain.
+// growFloats returns buf resized to n, reallocating only when capacity is
+// insufficient. Contents are unspecified.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// Observe appends a noisy sample y at point x. The point is copied. Before
+// storing, the predictive variance at x is folded into the running
+// information gain — free of charge, since the factorization is already
+// current. The factor is then extended in place (O(n²)); only if the
+// posterior is dirty (kernel swap, numerical failure) does the next query
+// fall back to a full refit.
 func (r *Regressor) Observe(x []float64, y float64) error {
 	if len(x) == 0 {
 		return errors.New("gp: empty input point")
@@ -86,7 +122,8 @@ func (r *Regressor) Observe(x []float64, y float64) error {
 	if math.IsNaN(y) || math.IsInf(y, 0) {
 		return fmt.Errorf("gp: non-finite observation %v", y)
 	}
-	if len(r.ys) > 0 {
+	n := len(r.ys)
+	if n > 0 {
 		if _, s2, err := r.Posterior(x); err == nil {
 			r.infoGain += 0.5 * math.Log(1+s2/r.noiseVar)
 		}
@@ -95,7 +132,32 @@ func (r *Regressor) Observe(x []float64, y float64) error {
 	}
 	r.xs = append(r.xs, append([]float64(nil), x...))
 	r.ys = append(r.ys, y)
-	r.dirty = true
+	r.ySum += y
+	if n == 0 || r.dirty || r.chol == nil {
+		// No current factor to extend (first point, kernel swap pending, or
+		// an earlier fit failed); refit lazily on the next query.
+		r.dirty = true
+		return nil
+	}
+	// Incremental path: border the factor with the new cross-covariance row.
+	row := growFloats(r.rowBuf, n)
+	r.rowBuf = row
+	for i := 0; i < n; i++ {
+		row[i] = r.kernel.Eval(r.xs[i], x)
+	}
+	if err := r.chol.Extend(row, r.kernel.Eval(x, x)+r.noiseVar); err != nil {
+		r.dirty = true // numerically degenerate; next query refits from scratch
+		return nil
+	}
+	// The empirical mean moved, so α = (K+σ²I)⁻¹(y−mean) is re-solved
+	// against the extended factor: two triangular solves, O(n²).
+	r.mean = r.ySum / float64(n+1)
+	r.alpha = growFloats(r.alpha, n+1)
+	for i, yi := range r.ys {
+		r.alpha[i] = yi - r.mean
+	}
+	r.chol.SolveVecInto(r.alpha, r.alpha)
+	r.dirty = false
 	return nil
 }
 
@@ -103,59 +165,100 @@ func (r *Regressor) Observe(x []float64, y float64) error {
 // the quantity bounded by Γ_T in Theorem 1.
 func (r *Regressor) InformationGain() float64 { return r.infoGain }
 
-func (r *Regressor) refit() error {
-	n := len(r.ys)
+// fitSystem factorizes K+σ²I over xs under the given kernel and solves for
+// the centred weights. It is free of shared state so hyperparameter search
+// can evaluate candidate kernels concurrently on a snapshot; refit uses it
+// for the from-scratch path. The arithmetic (Gram fill order, centring,
+// solve order) is the reference the incremental path must reproduce.
+func fitSystem(xs [][]float64, ys []float64, ySum float64, kernel Kernel, noiseVar float64) (mean float64, chol *linalg.Cholesky, alpha []float64, err error) {
+	n := len(ys)
 	if n == 0 {
-		return ErrEmpty
+		return 0, nil, nil, ErrEmpty
 	}
-	var sum float64
-	for _, y := range r.ys {
-		sum += y
-	}
-	r.mean = sum / float64(n)
-
+	mean = ySum / float64(n)
 	k := linalg.NewMatrix(n, n)
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
-			v := r.kernel.Eval(r.xs[i], r.xs[j])
+			v := kernel.Eval(xs[i], xs[j])
 			k.Set(i, j, v)
 			k.Set(j, i, v)
 		}
 	}
-	chol, err := linalg.NewCholesky(k.AddScaledIdentity(r.noiseVar))
+	chol, err = linalg.NewCholesky(k.AddScaledIdentity(noiseVar))
 	if err != nil {
-		return fmt.Errorf("gp: refit: %w", err)
+		return 0, nil, nil, fmt.Errorf("gp: refit: %w", err)
 	}
-	centered := make([]float64, n)
-	for i, y := range r.ys {
-		centered[i] = y - r.mean
+	alpha = make([]float64, n)
+	for i, y := range ys {
+		alpha[i] = y - mean
 	}
-	r.chol = chol
-	r.alpha = chol.SolveVec(centered)
+	chol.SolveVecInto(alpha, alpha)
+	return mean, chol, alpha, nil
+}
+
+func (r *Regressor) refit() error {
+	mean, chol, alpha, err := fitSystem(r.xs, r.ys, r.ySum, r.kernel, r.noiseVar)
+	if err != nil {
+		return err
+	}
+	r.mean, r.chol, r.alpha = mean, chol, alpha
 	r.dirty = false
 	return nil
 }
 
-// Posterior returns the predictive mean and variance at x (Eq. 17).
-// With no observations it returns ErrEmpty.
-func (r *Regressor) Posterior(x []float64) (mu, variance float64, err error) {
+// ensureFit refits from scratch if a kernel swap or failed extension left
+// the factorization stale.
+func (r *Regressor) ensureFit() error {
 	if r.dirty {
-		if err := r.refit(); err != nil {
-			return 0, 0, err
-		}
+		return r.refit()
+	}
+	return nil
+}
+
+// Posterior returns the predictive mean and variance at x (Eq. 17).
+// With no observations it returns ErrEmpty. The query is allocation-free
+// in steady state (scratch buffers are reused across calls).
+func (r *Regressor) Posterior(x []float64) (mu, variance float64, err error) {
+	if err := r.ensureFit(); err != nil {
+		return 0, 0, err
 	}
 	n := len(r.ys)
-	kx := make([]float64, n)
+	kx := growFloats(r.kxBuf, n)
+	r.kxBuf = kx
 	for i := range r.xs {
 		kx[i] = r.kernel.Eval(r.xs[i], x)
 	}
+	return r.posteriorFromCross(kx, r.kernel.Eval(x, x))
+}
+
+// PosteriorFromCross returns the predictive mean and variance at a point
+// whose cross-covariance vector against the observations is already known:
+// kx[i] = k(x_i, x) in insertion order, and kxx = k(x, x). The UCB layer
+// maintains kx incrementally per candidate, so Select skips the O(n)
+// kernel evaluations per candidate per round. kx must have been computed
+// under the current kernel (compare KernelEpoch); it is not modified.
+func (r *Regressor) PosteriorFromCross(kx []float64, kxx float64) (mu, variance float64, err error) {
+	if err := r.ensureFit(); err != nil {
+		return 0, 0, err
+	}
+	if len(kx) != len(r.ys) {
+		return 0, 0, fmt.Errorf("gp: cross-covariance length %d, want %d", len(kx), len(r.ys))
+	}
+	return r.posteriorFromCross(kx, kxx)
+}
+
+// posteriorFromCross is the shared Eq. 17 evaluation; the fit must be
+// current and len(kx) == n.
+func (r *Regressor) posteriorFromCross(kx []float64, kxx float64) (mu, variance float64, err error) {
 	mu = r.mean
 	for i, a := range r.alpha {
 		mu += kx[i] * a
 	}
 	// σ²(x) = k(x,x) − ‖L⁻¹ k_t(x)‖²
-	v := r.chol.SolveLowerVec(kx)
-	variance = r.kernel.Eval(x, x)
+	v := growFloats(r.vBuf, len(kx))
+	r.vBuf = v
+	r.chol.SolveLowerVecInto(v, kx)
+	variance = kxx
 	for _, vi := range v {
 		variance -= vi * vi
 	}
@@ -187,18 +290,19 @@ func (r *Regressor) PosteriorJoint(points [][]float64) (mu []float64, cov *linal
 	if len(points) == 0 {
 		return nil, nil, errors.New("gp: PosteriorJoint with no points")
 	}
-	if r.dirty {
-		if err := r.refit(); err != nil {
-			return nil, nil, err
-		}
+	if err := r.ensureFit(); err != nil {
+		return nil, nil, err
 	}
 	n := len(r.ys)
 	p := len(points)
 	mu = make([]float64, p)
-	// kx[j] = k_t(points[j]); v[j] = L⁻¹ kx[j].
+	// kx = k_t(points[j]) reuses the query scratch; vs[j] = L⁻¹ kx lives in
+	// one p×n backing array (it must survive the whole pairwise pass).
+	backing := make([]float64, p*n)
 	vs := make([][]float64, p)
 	for j, x := range points {
-		kx := make([]float64, n)
+		kx := growFloats(r.kxBuf, n)
+		r.kxBuf = kx
 		for i := range r.xs {
 			kx[i] = r.kernel.Eval(r.xs[i], x)
 		}
@@ -206,7 +310,8 @@ func (r *Regressor) PosteriorJoint(points [][]float64) (mu []float64, cov *linal
 		for i, a := range r.alpha {
 			mu[j] += kx[i] * a
 		}
-		vs[j] = r.chol.SolveLowerVec(kx)
+		vs[j] = backing[j*n : (j+1)*n]
+		r.chol.SolveLowerVecInto(vs[j], kx)
 	}
 	cov = linalg.NewMatrix(p, p)
 	for a := 0; a < p; a++ {
@@ -268,17 +373,20 @@ func (r *Regressor) SampleJoint(points [][]float64, gauss func() float64) ([]flo
 // LogMarginalLikelihood returns log p(y | X, θ) for the current
 // observations — useful for hyperparameter diagnostics.
 func (r *Regressor) LogMarginalLikelihood() (float64, error) {
-	if r.dirty {
-		if err := r.refit(); err != nil {
-			return 0, err
-		}
+	if err := r.ensureFit(); err != nil {
+		return 0, err
 	}
-	n := len(r.ys)
+	return lmlFromFit(r.ys, r.mean, r.alpha, r.chol), nil
+}
+
+// lmlFromFit evaluates log p(y | X, θ) from a current fit:
+// −½ (y−μ)ᵀα − ½ log det(K+σ²I) − ½ n log 2π.
+func lmlFromFit(ys []float64, mean float64, alpha []float64, chol *linalg.Cholesky) float64 {
 	var fit float64
-	for i, y := range r.ys {
-		fit += (y - r.mean) * r.alpha[i]
+	for i, y := range ys {
+		fit += (y - mean) * alpha[i]
 	}
-	return -0.5*fit - 0.5*r.chol.LogDet() - 0.5*float64(n)*math.Log(2*math.Pi), nil
+	return -0.5*fit - 0.5*chol.LogDet() - 0.5*float64(len(ys))*math.Log(2*math.Pi)
 }
 
 // SEInformationGainBound returns the Theorem-1 asymptotic bound

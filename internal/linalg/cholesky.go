@@ -1,6 +1,9 @@
 package linalg
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Cholesky holds the lower-triangular factor L of an SPD matrix A = L·Lᵀ.
 // It is the workhorse behind the GP posterior (Eq. 17 of the Dragster
@@ -51,20 +54,73 @@ func NewCholesky(a *Matrix) (*Cholesky, error) {
 	return &Cholesky{L: l}, nil
 }
 
+// N returns the order of the factorized matrix.
+func (c *Cholesky) N() int { return c.L.Rows }
+
+// Extend grows the factor of the n×n matrix A to the factor of the
+// (n+1)×(n+1) bordered matrix
+//
+//	A' = ⎡A     row⎤
+//	     ⎣rowᵀ  diag⎦
+//
+// in O(n²): the new off-diagonal row of L is the forward solve L·w = row
+// and the new pivot is √(diag − wᵀw). row holds the n new off-diagonal
+// entries A'[n][0..n−1]; diag is A'[n][n]. The arithmetic mirrors
+// NewCholesky's column recurrence term for term, so an extended factor is
+// bit-identical to refactorizing A' from scratch. On ErrNotSPD (the new
+// pivot is not positive) the receiver is left unchanged.
+func (c *Cholesky) Extend(row []float64, diag float64) error {
+	n := c.L.Rows
+	if len(row) != n {
+		panic(fmt.Sprintf("linalg: Extend row length %d, want %d", len(row), n))
+	}
+	l := NewMatrix(n+1, n+1)
+	for i := 0; i < n; i++ {
+		copy(l.Data[i*(n+1):i*(n+1)+i+1], c.L.Data[i*n:i*n+i+1])
+	}
+	for j := 0; j < n; j++ {
+		var s float64
+		for k := 0; k < j; k++ {
+			s += l.At(n, k) * l.At(j, k)
+		}
+		l.Set(n, j, (row[j]-s)/l.At(j, j))
+	}
+	var d float64
+	for k := 0; k < n; k++ {
+		v := l.At(n, k)
+		d += v * v
+	}
+	d = diag - d
+	if d <= 0 || math.IsNaN(d) {
+		return ErrNotSPD
+	}
+	l.Set(n, n, math.Sqrt(d))
+	c.L = l
+	return nil
+}
+
 // SolveVec solves A·x = b for x, where A is the factorized matrix.
 // It panics if len(b) != n.
 func (c *Cholesky) SolveVec(b []float64) []float64 {
-	y := c.forwardSolve(b)
-	return c.backwardSolve(y)
+	return c.SolveVecInto(make([]float64, c.L.Rows), b)
 }
 
-// forwardSolve solves L·y = b.
-func (c *Cholesky) forwardSolve(b []float64) []float64 {
+// SolveVecInto solves A·x = b into dst and returns dst, allocating
+// nothing. dst may alias b. It panics if len(dst) or len(b) != n.
+func (c *Cholesky) SolveVecInto(dst, b []float64) []float64 {
+	c.forwardSolveInto(dst, b)
+	c.backwardSolveInto(dst, dst)
+	return dst
+}
+
+// forwardSolveInto solves L·y = b into y. y may alias b: y[i] reads b[i]
+// before writing index i and otherwise only touches already-computed
+// entries.
+func (c *Cholesky) forwardSolveInto(y, b []float64) {
 	n := c.L.Rows
-	if len(b) != n {
+	if len(b) != n || len(y) != n {
 		panic("linalg: SolveVec dimension mismatch")
 	}
-	y := make([]float64, n)
 	for i := 0; i < n; i++ {
 		s := b[i]
 		for k := 0; k < i; k++ {
@@ -72,13 +128,15 @@ func (c *Cholesky) forwardSolve(b []float64) []float64 {
 		}
 		y[i] = s / c.L.At(i, i)
 	}
-	return y
 }
 
-// backwardSolve solves Lᵀ·x = y.
-func (c *Cholesky) backwardSolve(y []float64) []float64 {
+// backwardSolveInto solves Lᵀ·x = y into x. x may alias y: index i is
+// read from y before being written and later entries are already final.
+func (c *Cholesky) backwardSolveInto(x, y []float64) {
 	n := c.L.Rows
-	x := make([]float64, n)
+	if len(y) != n || len(x) != n {
+		panic("linalg: SolveVec dimension mismatch")
+	}
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
 		for k := i + 1; k < n; k++ {
@@ -86,13 +144,19 @@ func (c *Cholesky) backwardSolve(y []float64) []float64 {
 		}
 		x[i] = s / c.L.At(i, i)
 	}
-	return x
 }
 
 // SolveLowerVec solves L·y = b (forward substitution only). The GP variance
 // computation needs this half-solve: σ²(x) = k(x,x) − ‖L⁻¹ k_t(x)‖².
 func (c *Cholesky) SolveLowerVec(b []float64) []float64 {
-	return c.forwardSolve(b)
+	return c.SolveLowerVecInto(make([]float64, c.L.Rows), b)
+}
+
+// SolveLowerVecInto solves L·y = b into dst and returns dst, allocating
+// nothing. dst may alias b.
+func (c *Cholesky) SolveLowerVecInto(dst, b []float64) []float64 {
+	c.forwardSolveInto(dst, b)
+	return dst
 }
 
 // LogDet returns log det(A) = 2·Σ log L_ii, used by the GP log-marginal

@@ -1,0 +1,168 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// leadingMinor returns the top-left k×k block of a.
+func leadingMinor(a *Matrix, k int) *Matrix {
+	m := NewMatrix(k, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			m.Set(i, j, a.At(i, j))
+		}
+	}
+	return m
+}
+
+// TestExtendBitIdenticalToFromScratch is the incremental-GP cornerstone:
+// growing a factor one bordered row at a time must produce the exact same
+// bits as refactorizing each leading minor from scratch, because the
+// extension mirrors NewCholesky's column recurrence term for term. The
+// determinism regression tests (byte-identical seeded figures) depend on
+// this equality, so it is exact, not approximate.
+func TestExtendBitIdenticalToFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(30)
+		a := randomSPD(rng, n)
+		inc, err := NewCholesky(leadingMinor(a, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k < n; k++ {
+			row := make([]float64, k)
+			for i := 0; i < k; i++ {
+				row[i] = a.At(k, i)
+			}
+			if err := inc.Extend(row, a.At(k, k)); err != nil {
+				t.Fatalf("trial %d: extend to %d: %v", trial, k+1, err)
+			}
+			ref, err := NewCholesky(leadingMinor(a, k+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < k+1; i++ {
+				for j := 0; j < k+1; j++ {
+					if inc.L.At(i, j) != ref.L.At(i, j) {
+						t.Fatalf("trial %d size %d: L[%d][%d] = %v incremental, %v from scratch",
+							trial, k+1, i, j, inc.L.At(i, j), ref.L.At(i, j))
+					}
+				}
+			}
+		}
+		if inc.N() != n {
+			t.Fatalf("N() = %d, want %d", inc.N(), n)
+		}
+	}
+}
+
+func TestExtendRejectsNonSPDAndLeavesFactorIntact(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{4, 1, 1, 3})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ch.L.Clone()
+	// Bordering with diag 0 makes the pivot non-positive.
+	if err := ch.Extend([]float64{1, 1}, 0); err != ErrNotSPD {
+		t.Fatalf("err = %v, want ErrNotSPD", err)
+	}
+	if ch.N() != 2 {
+		t.Fatalf("failed Extend changed order to %d", ch.N())
+	}
+	for i := range before.Data {
+		if ch.L.Data[i] != before.Data[i] {
+			t.Fatal("failed Extend mutated the factor")
+		}
+	}
+}
+
+func TestExtendPanicsOnRowLengthMismatch(t *testing.T) {
+	ch, err := NewCholesky(NewMatrixFrom(2, 2, []float64{4, 1, 1, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Extend with wrong row length did not panic")
+		}
+	}()
+	if err := ch.Extend([]float64{1}, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveIntoMatchesAllocatingAndSupportsAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(20)
+		ch, err := NewCholesky(randomSPD(rng, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want := ch.SolveVec(b)
+		dst := make([]float64, n)
+		if got := ch.SolveVecInto(dst, b); &got[0] != &dst[0] {
+			t.Fatal("SolveVecInto did not return dst")
+		}
+		aliased := append([]float64(nil), b...)
+		ch.SolveVecInto(aliased, aliased)
+		wantLower := ch.SolveLowerVec(b)
+		lowerAliased := append([]float64(nil), b...)
+		ch.SolveLowerVecInto(lowerAliased, lowerAliased)
+		for i := 0; i < n; i++ {
+			if dst[i] != want[i] || aliased[i] != want[i] {
+				t.Fatalf("SolveVecInto[%d] = %v / aliased %v, want %v", i, dst[i], aliased[i], want[i])
+			}
+			if lowerAliased[i] != wantLower[i] {
+				t.Fatalf("SolveLowerVecInto aliased[%d] = %v, want %v", i, lowerAliased[i], wantLower[i])
+			}
+		}
+		// Residual check: A·x ≈ b.
+		x := dst
+		var maxResid float64
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				var aij float64
+				for k := 0; k <= i && k <= j; k++ {
+					aij += ch.L.At(i, k) * ch.L.At(j, k)
+				}
+				s += aij * x[j]
+			}
+			if r := math.Abs(s - b[i]); r > maxResid {
+				maxResid = r
+			}
+		}
+		if maxResid > 1e-8 {
+			t.Fatalf("residual %v too large", maxResid)
+		}
+	}
+}
+
+func BenchmarkCholeskyExtend64(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	a := randomSPD(rng, 65)
+	base, err := NewCholesky(leadingMinor(a, 64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := make([]float64, 64)
+	for i := range row {
+		row[i] = a.At(64, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch := Cholesky{L: base.L}
+		if err := ch.Extend(row, a.At(64, 64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -98,8 +98,28 @@ type Searcher struct {
 	bonus      BonusForm
 	explore    float64
 	refitEvery int
+	lmlWorkers int
 	rng        *stats.RNG
 	t          int // observations consumed (the UCB round counter)
+
+	// diam caches candidateDiameter: the candidate list is immutable, so
+	// the hyperparameter-refit hot loop must not rescan it.
+	diam float64
+
+	// Running target moments (Welford, insertion order — bit-identical to
+	// rescanning reg.Observations() per refit, without the O(n) copy).
+	meanY, m2Y float64
+
+	// Cross-covariance cache for Select: crossK[i*C+ci] = k(x_i, cand_ci)
+	// (observation-major so one Observe appends one contiguous block of C
+	// entries), crossKxx[ci] = k(cand_ci, cand_ci). Valid only while
+	// crossEpoch matches the regressor's kernel epoch; a kernel swap
+	// (hyperparameter refit) forces a full recompute.
+	crossK     []float64
+	crossKxx   []float64
+	crossN     int // observations covered by crossK
+	crossEpoch uint64
+	kxScratch  []float64 // per-candidate gather buffer for PosteriorFromCross
 }
 
 // Config assembles a Searcher.
@@ -129,6 +149,11 @@ type Config struct {
 	// This mirrors the sklearn GaussianProcessRegressor's per-fit
 	// optimizer the paper's implementation used.
 	RefitEvery int
+	// LMLWorkers bounds the worker pool of the parallel LML grid search
+	// run on each hyperparameter refit (0 = automatic; see
+	// gp.Regressor.MaximizeLMLWorkers — the result is deterministic for
+	// any worker count).
+	LMLWorkers int
 	// RNG supplies the posterior draws for the Thompson acquisition
 	// (required for Thompson, ignored otherwise).
 	RNG *stats.RNG
@@ -165,12 +190,15 @@ func NewSearcher(cfg Config) (*Searcher, error) {
 	if cfg.RefitEvery < 0 {
 		return nil, fmt.Errorf("ucb: negative refit interval %d", cfg.RefitEvery)
 	}
+	if cfg.LMLWorkers < 0 {
+		return nil, fmt.Errorf("ucb: negative LML worker count %d", cfg.LMLWorkers)
+	}
 	if cfg.Acquisition == Thompson && cfg.RNG == nil {
 		return nil, errors.New("ucb: Thompson acquisition needs an RNG")
 	}
+	diam := candidateDiameter(cands)
 	if cfg.Kernel == nil {
 		// Length scale ≈ 20% of the candidate diameter in each dimension.
-		diam := candidateDiameter(cands)
 		k, err := gp.NewSquaredExponential(math.Max(0.2*diam, 1e-3), 1)
 		if err != nil {
 			return nil, err
@@ -181,7 +209,7 @@ func NewSearcher(cfg Config) (*Searcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Searcher{
+	s := &Searcher{
 		reg:        reg,
 		candidates: cands,
 		delta:      cfg.Delta,
@@ -189,8 +217,16 @@ func NewSearcher(cfg Config) (*Searcher, error) {
 		bonus:      cfg.Bonus,
 		explore:    cfg.ExplorationScale,
 		refitEvery: cfg.RefitEvery,
+		lmlWorkers: cfg.LMLWorkers,
 		rng:        cfg.RNG,
-	}, nil
+		diam:       diam,
+		crossKxx:   make([]float64, len(cands)),
+		crossEpoch: reg.KernelEpoch(),
+	}
+	for ci, cand := range s.candidates {
+		s.crossKxx[ci] = reg.Kernel().Eval(cand, cand)
+	}
+	return s, nil
 }
 
 func candidateDiameter(cands [][]float64) float64 {
@@ -219,6 +255,10 @@ func (s *Searcher) Observe(x []float64, capacityObs float64) error {
 		return err
 	}
 	s.t++
+	d := capacityObs - s.meanY
+	s.meanY += d / float64(s.t)
+	s.m2Y += d * (capacityObs - s.meanY)
+	s.appendCross(x)
 	if s.refitEvery > 0 && s.t >= 5 && s.t%s.refitEvery == 0 {
 		if err := s.refitHyperparams(); err != nil && !errors.Is(err, gp.ErrTooFewPoints) {
 			return err
@@ -227,28 +267,67 @@ func (s *Searcher) Observe(x []float64, capacityObs float64) error {
 	return nil
 }
 
-// refitHyperparams runs the LML grid search over scales derived from the
-// candidate diameter and the empirical target variance.
-func (s *Searcher) refitHyperparams() error {
-	_, ys := s.reg.Observations()
-	var mean, m2 float64
-	for i, y := range ys {
-		d := y - mean
-		mean += d / float64(i+1)
-		m2 += d * (y - mean)
+// appendCross extends the cross-covariance cache by the one observation
+// just fed — O(C) kernel evaluations instead of the O(C·n) a full rebuild
+// costs. If the cache is already stale (kernel swapped since the last
+// sync) the append is skipped and Select's syncCross rebuilds it.
+func (s *Searcher) appendCross(x []float64) {
+	if s.crossEpoch != s.reg.KernelEpoch() || s.crossN != s.reg.Len()-1 {
+		return
 	}
-	if len(ys) < 2 {
+	k := s.reg.Kernel()
+	for _, cand := range s.candidates {
+		s.crossK = append(s.crossK, k.Eval(x, cand))
+	}
+	s.crossN++
+}
+
+// syncCross brings the cross-covariance cache up to date with the
+// regressor: a no-op in steady state (appendCross keeps it current), a
+// catch-up append if observations arrived out of band, and a full O(C·n)
+// recompute after a kernel swap — kernel swaps invalidate every cached
+// covariance, including the candidate self-covariances.
+func (s *Searcher) syncCross() {
+	epoch := s.reg.KernelEpoch()
+	n := s.reg.Len()
+	if s.crossEpoch == epoch && s.crossN == n {
+		return
+	}
+	k := s.reg.Kernel()
+	if s.crossEpoch != epoch || s.crossN > n {
+		s.crossK = s.crossK[:0]
+		s.crossN = 0
+		s.crossEpoch = epoch
+		for ci, cand := range s.candidates {
+			s.crossKxx[ci] = k.Eval(cand, cand)
+		}
+	}
+	if s.crossN < n {
+		xs, _ := s.reg.Observations()
+		for i := s.crossN; i < n; i++ {
+			for _, cand := range s.candidates {
+				s.crossK = append(s.crossK, k.Eval(xs[i], cand))
+			}
+		}
+		s.crossN = n
+	}
+}
+
+// refitHyperparams runs the parallel LML grid search over scales derived
+// from the cached candidate diameter and the running target variance.
+func (s *Searcher) refitHyperparams() error {
+	if s.t < 2 {
 		return gp.ErrTooFewPoints
 	}
-	targetVar := m2 / float64(len(ys)-1)
+	targetVar := s.m2Y / float64(s.t-1)
 	if targetVar <= 0 {
 		return nil // degenerate constant data; keep current kernel
 	}
-	grid, err := gp.DefaultHyperGrid(math.Max(candidateDiameter(s.candidates), 1e-3), targetVar)
+	grid, err := gp.DefaultHyperGrid(math.Max(s.diam, 1e-3), targetVar)
 	if err != nil {
 		return err
 	}
-	_, _, _, err = s.reg.MaximizeLML(grid)
+	_, _, _, err = s.reg.MaximizeLMLWorkers(grid, s.lmlWorkers)
 	return err
 }
 
@@ -319,19 +398,33 @@ func (s *Searcher) Select(target float64) (x []float64, idx int, beta float64, e
 		}
 		return append([]float64(nil), s.candidates[idx]...), idx, beta, nil
 	}
-	mus, vars, err := s.reg.PosteriorBatch(s.candidates)
-	if err != nil {
-		return nil, 0, 0, err
+	// Score candidates from the cross-covariance cache: only observations
+	// that arrived since the last Select (or a kernel swap) cost kernel
+	// evaluations; the per-candidate posterior is then two cached-vector
+	// triangular passes via PosteriorFromCross.
+	s.syncCross()
+	n := s.reg.Len()
+	c := len(s.candidates)
+	if cap(s.kxScratch) < n {
+		s.kxScratch = make([]float64, n)
 	}
+	kx := s.kxScratch[:n]
 	bestScore := math.Inf(-1)
 	idx = -1
-	for i := range s.candidates {
+	for i := 0; i < c; i++ {
+		for j := 0; j < n; j++ {
+			kx[j] = s.crossK[j*c+i]
+		}
+		mu, variance, err := s.reg.PosteriorFromCross(kx, s.crossKxx[i])
+		if err != nil {
+			return nil, 0, 0, err
+		}
 		var bonus float64
 		switch s.bonus {
 		case StdBonus:
-			bonus = math.Sqrt(beta) * math.Sqrt(vars[i])
+			bonus = math.Sqrt(beta) * math.Sqrt(variance)
 		case VarianceBonus:
-			bonus = beta * vars[i]
+			bonus = beta * variance
 		default:
 			return nil, 0, 0, fmt.Errorf("ucb: unknown bonus form %d", s.bonus)
 		}
@@ -339,9 +432,9 @@ func (s *Searcher) Select(target float64) (x []float64, idx int, beta float64, e
 		var score float64
 		switch s.acq {
 		case Extended:
-			score = -math.Abs(mus[i]-target) + bonus
+			score = -math.Abs(mu-target) + bonus
 		case Conventional:
-			score = mus[i] + bonus
+			score = mu + bonus
 		default:
 			return nil, 0, 0, fmt.Errorf("ucb: unknown acquisition %d", s.acq)
 		}

@@ -376,6 +376,126 @@ func TestThompsonTracksTarget(t *testing.T) {
 	}
 }
 
+// TestSelectMatchesUncachedPosteriors pins the cross-covariance cache to
+// the uncached reference: after interleaved observations and a
+// hyperparameter refit (kernel swap ⇒ full cache rebuild), Select's
+// cached scoring must pick the same candidate the direct PosteriorBatch
+// scoring picks, with identical posterior values at the winner.
+func TestSelectMatchesUncachedPosteriors(t *testing.T) {
+	s, err := NewSearcher(Config{
+		NoiseVar:   25,
+		Candidates: taskCandidates(t),
+		RefitEvery: 7, // force kernel swaps mid-sequence
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(17)
+	for i := 0; i < 30; i++ {
+		n := 1 + float64(rng.Intn(10))
+		if err := s.Observe([]float64{n}, capCurve(n)+rng.Normal(0, 5)); err != nil {
+			t.Fatal(err)
+		}
+		if i < 2 {
+			continue
+		}
+		target := rng.Uniform(100, 700)
+		_, idx, beta, err := s.Select(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference scoring without the cache.
+		mus, vars, err := s.Regressor().PosteriorBatch(s.Candidates())
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, bestScore := -1, math.Inf(-1)
+		for c := range mus {
+			score := -math.Abs(mus[c]-target) + math.Sqrt(beta)*math.Sqrt(vars[c])
+			if score > bestScore {
+				bestScore, best = score, c
+			}
+		}
+		if idx != best {
+			t.Fatalf("step %d: cached Select chose %d, uncached reference %d", i, idx, best)
+		}
+		mu, v2, err := s.PosteriorAt(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mu != mus[idx] || v2 != vars[idx] {
+			t.Fatalf("step %d: cached posterior (%v, %v) vs direct (%v, %v)", i, mu, v2, mus[idx], vars[idx])
+		}
+	}
+}
+
+// TestSearchDeterministicWithParallelLML runs the same seeded search —
+// hyperparameter refits enabled — under different LML worker pool sizes
+// and requires the full selection trajectory to be identical: the
+// parallel grid search must not leak scheduling nondeterminism into the
+// seeded experiments.
+func TestSearchDeterministicWithParallelLML(t *testing.T) {
+	trajectory := func(workers int) []int {
+		s, err := NewSearcher(Config{
+			NoiseVar:   25,
+			Candidates: taskCandidates(t),
+			RefitEvery: 5,
+			LMLWorkers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := stats.NewRNG(23)
+		var picks []int
+		for i := 0; i < 40; i++ {
+			n := 1 + float64(rng.Intn(10))
+			if err := s.Observe([]float64{n}, capCurve(n)+rng.Normal(0, 5)); err != nil {
+				t.Fatal(err)
+			}
+			_, idx, _, err := s.Select(rng.Uniform(100, 700))
+			if err != nil {
+				t.Fatal(err)
+			}
+			picks = append(picks, idx)
+		}
+		return picks
+	}
+	serial := trajectory(1)
+	for _, workers := range []int{2, 8, 0} {
+		got := trajectory(workers)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: step %d selected %d, serial selected %d", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func BenchmarkSelect200Obs(b *testing.B) {
+	cands := make([][]float64, 40)
+	for i := range cands {
+		cands[i] = []float64{1 + float64(i)*0.25}
+	}
+	s, err := NewSearcher(Config{NoiseVar: 25, Candidates: cands})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(19)
+	for i := 0; i < 200; i++ {
+		n := 1 + 9*rng.Uniform(0, 1)
+		if err := s.Observe([]float64{n}, capCurve(n)+rng.Normal(0, 5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := s.Select(500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSelect10Candidates(b *testing.B) {
 	s, err := NewSearcher(Config{NoiseVar: 25, Candidates: func() [][]float64 {
 		g, _ := store.TaskGrid(1, 10)
