@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-snapshot lint repro repro-quick examples clean
+.PHONY: all build test race bench bench-snapshot fuzz-smoke lint repro repro-quick examples clean
 
 all: build test lint
 
@@ -11,7 +11,8 @@ build:
 	$(GO) vet ./...
 
 # Static-analysis suite (internal/analysis): simclock, detrand, maporder,
-# errflow — the determinism and error-handling invariants. Runs through
+# errflow, chaoshook — the determinism, error-handling, and fault-model
+# invariants. Runs through
 # `go vet -vettool` so analyzers see build-accurate type information.
 lint:
 	$(GO) build -o bin/dragsterlint ./cmd/dragsterlint
@@ -22,6 +23,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Short coverage-guided run of every fuzz target (go test accepts one
+# -fuzz pattern per invocation, hence the loop). Catches fuzz-harness rot
+# and shallow panics; long campaigns stay a manual job.
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz FuzzNewCholesky -fuzztime 3s ./internal/linalg
+	$(GO) test -run NONE -fuzz FuzzCholeskyExtend -fuzztime 3s ./internal/linalg
+	$(GO) test -run NONE -fuzz FuzzGraphBuild -fuzztime 3s ./internal/dag
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

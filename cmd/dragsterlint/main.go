@@ -1,7 +1,7 @@
 // Command dragsterlint runs the project's static-analysis suite
-// (internal/analysis): simclock, detrand, maporder, and errflow — the
-// machine-enforced determinism and error-handling invariants the
-// reproduction depends on.
+// (internal/analysis): simclock, detrand, maporder, errflow, and
+// chaoshook — the machine-enforced determinism, error-handling, and
+// fault-model invariants the reproduction depends on.
 //
 // It speaks the `go vet` unit-checker protocol, so the supported way to
 // run it is through the go tool, which supplies per-package type

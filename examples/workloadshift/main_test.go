@@ -1,0 +1,32 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"dragster/internal/experiment"
+)
+
+// TestWorkloadShiftSmoke runs a scaled-down version of what main() does —
+// the alternating-load WordCount experiment plus the static-baseline
+// comparison — so the example cannot rot away from the experiment API.
+func TestWorkloadShiftSmoke(t *testing.T) {
+	r, err := experiment.Fig6(8, 4, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range experiment.PolicyOrder {
+		tp, ok := r.Throughput[name]
+		if !ok || len(tp) != 8 {
+			t.Fatalf("policy %s: %d throughput slots, want 8", name, len(tp))
+		}
+		if len(r.Phases[name]) == 0 {
+			t.Fatalf("policy %s: no phase statistics", name)
+		}
+	}
+	if r.StaticMeanThroughput <= 0 {
+		t.Errorf("static baseline throughput = %v, want > 0", r.StaticMeanThroughput)
+	}
+	experiment.RenderFig6(io.Discard, r)
+	experiment.RenderTable2(io.Discard, r)
+}

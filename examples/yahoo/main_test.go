@@ -1,0 +1,34 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"dragster/internal/experiment"
+)
+
+// TestYahooSmoke runs a scaled-down version of what main() does — the
+// Yahoo benchmark with a mid-run load change, rendered to a discarded
+// writer — so the example cannot rot away from the experiment API.
+func TestYahooSmoke(t *testing.T) {
+	r, err := experiment.Fig7(8, 4, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range experiment.PolicyOrder {
+		tp, ok := r.Throughput[name]
+		if !ok || len(tp) != 8 {
+			t.Fatalf("policy %s: %d throughput slots, want 8", name, len(tp))
+		}
+		for slot, v := range tp {
+			if v < 0 {
+				t.Fatalf("policy %s slot %d: negative throughput %v", name, slot, v)
+			}
+		}
+		if len(r.Phases[name]) == 0 {
+			t.Fatalf("policy %s: no phase statistics", name)
+		}
+	}
+	experiment.RenderFig7(io.Discard, r)
+	experiment.RenderTable3(io.Discard, r)
+}

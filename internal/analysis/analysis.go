@@ -73,6 +73,7 @@ func All() []*Analyzer {
 		DetrandAnalyzer(),
 		MaporderAnalyzer(),
 		ErrflowAnalyzer(),
+		ChaoshookAnalyzer(),
 	}
 }
 

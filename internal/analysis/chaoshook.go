@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// chaoshookMethods maps substrate package → the fault entry points that
+// only the chaos engine may invoke. RemoveNode/KillPod mutate the k8s
+// model outside the scheduler's control, and the three Set* installers
+// rebind the injection hooks; a stray call from controller or experiment
+// code would fork the fault model away from the seeded, traced engine and
+// break deterministic replay.
+var chaoshookMethods = map[string]map[string]bool{
+	ModulePath + "/internal/cluster": {
+		"RemoveNode":  true,
+		"KillPod":     true,
+		"SetInjector": true,
+	},
+	ModulePath + "/internal/flink": {
+		"SetChaosHooks": true,
+	},
+	ModulePath + "/internal/monitor": {
+		"SetInterceptor": true,
+	},
+}
+
+// chaoshookAllowed lists the packages that own the fault model. Each
+// substrate package may also call its own entry points.
+var chaoshookAllowed = []string{
+	ModulePath + "/internal/chaos",
+}
+
+// ChaoshookAnalyzer forbids direct use of the substrate fault entry
+// points outside internal/chaos (and the defining packages themselves).
+func ChaoshookAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "chaoshook",
+		Doc: "forbid direct calls to substrate fault entry points (cluster " +
+			"RemoveNode/KillPod/SetInjector, flink SetChaosHooks, monitor " +
+			"SetInterceptor) outside internal/chaos; faults must flow through the " +
+			"seeded chaos engine so every injected failure is traced and replayable",
+		Run: runChaoshook,
+	}
+}
+
+func runChaoshook(pass *Pass) []Diagnostic {
+	if !inModule(pass) || chaoshookPkgAllowed(pass.Path()) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calledFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if !chaoshookMethods[path][fn.Name()] || path == pass.Path() {
+				return true
+			}
+			// Tests exercise the primitives directly on purpose.
+			if isTestFile(pass.Fset, call.Pos()) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  call.Pos(),
+				Rule: "chaoshook",
+				Message: fmt.Sprintf("%s.%s is a fault entry point reserved for the chaos "+
+					"engine; inject the fault through a chaos.Spec instead (allowed only "+
+					"under %v)", path, fn.Name(), chaoshookAllowed),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+func chaoshookPkgAllowed(path string) bool {
+	for _, p := range chaoshookAllowed {
+		if path == p || hasPathPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package analysis
+
+import "testing"
+
+func TestChaoshookFixture(t *testing.T) {
+	runFixture(t, "dragster/internal/chaoshookbad", ChaoshookAnalyzer())
+}
+
+// TestChaoshookAllowsChaosPackage runs the analyzer over the fixture
+// chaos package, which uses every fault entry point: as the owner of the
+// fault model it must produce zero findings.
+func TestChaoshookAllowsChaosPackage(t *testing.T) {
+	runFixture(t, "dragster/internal/chaos", ChaoshookAnalyzer())
+}

@@ -1,0 +1,19 @@
+// Package chaos stands in for dragster/internal/chaos in chaoshook
+// fixtures: it owns the fault model, so every entry point is legal here.
+package chaos
+
+import (
+	"dragster/internal/cluster"
+	"dragster/internal/flink"
+	"dragster/internal/monitor"
+)
+
+func Install(c *cluster.Cluster, j *flink.Job, m *monitor.Monitor) error {
+	c.SetInjector(nil)
+	j.SetChaosHooks(nil)
+	m.SetInterceptor(nil)
+	if err := c.RemoveNode("n-0"); err != nil {
+		return err
+	}
+	return c.KillPod("p-0")
+}

@@ -1,0 +1,38 @@
+// Package chaoshookbad exercises the chaoshook analyzer: substrate fault
+// entry points called outside internal/chaos are flagged; ordinary
+// substrate calls and same-name local methods are not.
+package chaoshookbad
+
+import (
+	"dragster/internal/cluster"
+	"dragster/internal/flink"
+	"dragster/internal/monitor"
+)
+
+func Bad(c *cluster.Cluster, j *flink.Job, m *monitor.Monitor) error {
+	if err := c.RemoveNode("n-0"); err != nil { // want `dragster/internal/cluster\.RemoveNode is a fault entry point`
+		return err
+	}
+	_ = c.KillPod("p-0")  // want `dragster/internal/cluster\.KillPod is a fault entry point`
+	c.SetInjector(nil)    // want `dragster/internal/cluster\.SetInjector is a fault entry point`
+	j.SetChaosHooks(nil)  // want `dragster/internal/flink\.SetChaosHooks is a fault entry point`
+	m.SetInterceptor(nil) // want `dragster/internal/monitor\.SetInterceptor is a fault entry point`
+	return nil
+}
+
+type localFake struct{}
+
+func (localFake) RemoveNode(name string) error { return nil }
+func (localFake) SetChaosHooks(h any)          {}
+
+func OutOfSet(c *cluster.Cluster) {
+	// Non-fault substrate calls and same-name methods on local types are
+	// untouched.
+	_ = c.ReportCPUUsage("pod-0", 250)
+	_ = localFake{}.RemoveNode("n-0")
+	localFake{}.SetChaosHooks(nil)
+}
+
+func Waived(c *cluster.Cluster) {
+	_ = c.KillPod("p-0") //lint:allow chaoshook fixture demonstrates the waiver
+}

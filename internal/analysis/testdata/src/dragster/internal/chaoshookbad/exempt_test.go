@@ -1,0 +1,10 @@
+package chaoshookbad
+
+import "dragster/internal/cluster"
+
+// _test.go files are exempt from chaoshook: tests exercise the fault
+// primitives directly on purpose. Nothing here is flagged.
+func helperUsedInTests(c *cluster.Cluster) {
+	_ = c.RemoveNode("n-0")
+	_ = c.KillPod("p-0")
+}

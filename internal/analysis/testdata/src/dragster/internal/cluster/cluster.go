@@ -9,3 +9,11 @@ type Cluster struct{}
 func (c *Cluster) ReportCPUUsage(pod string, milli int) error {
 	return errors.New("unknown pod")
 }
+
+// Fault entry points mirrored for the chaoshook fixtures.
+
+type Injector interface{ HoldScheduling(clock int64) bool }
+
+func (c *Cluster) RemoveNode(name string) error { return errors.New("unknown node") }
+func (c *Cluster) KillPod(name string) error    { return errors.New("unknown pod") }
+func (c *Cluster) SetInjector(in Injector)      {}

@@ -1,0 +1,11 @@
+// Package flink stands in for dragster/internal/flink in chaoshook
+// fixtures.
+package flink
+
+type ChaosHooks interface {
+	InterceptRescale(job string, slot int) error
+}
+
+type Job struct{}
+
+func (j *Job) SetChaosHooks(h ChaosHooks) {}

@@ -1,0 +1,11 @@
+// Package monitor stands in for dragster/internal/monitor in chaoshook
+// fixtures.
+package monitor
+
+type Interceptor interface {
+	InterceptReport(rep any) (any, error)
+}
+
+type Monitor struct{}
+
+func (m *Monitor) SetInterceptor(ic Interceptor) {}

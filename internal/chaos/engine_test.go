@@ -1,0 +1,277 @@
+package chaos_test
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dragster/internal/chaos"
+	"dragster/internal/cluster"
+	"dragster/internal/monitor"
+	"dragster/internal/telemetry"
+)
+
+// testCluster builds a 3-node cluster running a 4-pod worker deployment.
+func testCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	k8s := cluster.New()
+	if err := k8s.AddNodes("n", 3, cluster.ResourceSpec{CPUMilli: 4000, MemoryMB: 8192}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k8s.CreateDeployment("worker", cluster.ResourceSpec{CPUMilli: 1000, MemoryMB: 2048}, 4); err != nil {
+		t.Fatal(err)
+	}
+	return k8s
+}
+
+func newEngine(t *testing.T, spec *chaos.Spec, k8s *cluster.Cluster) *chaos.Engine {
+	t.Helper()
+	e, err := chaos.NewEngine(spec, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k8s != nil {
+		if err := e.Install(k8s, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func counterValue(cs *telemetry.Counters, name string) int64 {
+	return cs.Get(name)
+}
+
+func TestEngineCrashAndHeal(t *testing.T) {
+	k8s := testCluster(t)
+	e := newEngine(t, chaos.NewSpec("ch").CrashLastNode(0).HealNode(1), k8s)
+
+	e.BeginSlot(0)
+	if got := len(k8s.Nodes()); got != 2 {
+		t.Fatalf("after crash: %d nodes, want 2", got)
+	}
+	e.BeginSlot(1)
+	nodes := k8s.Nodes()
+	if len(nodes) != 3 {
+		t.Fatalf("after heal: %d nodes, want 3", len(nodes))
+	}
+	spec, ok := k8s.NodeAllocatable(nodes[len(nodes)-1])
+	if !ok || spec.CPUMilli != 4000 {
+		t.Errorf("healed node allocatable = %+v, want the crashed node's 4000m", spec)
+	}
+	cs := e.Counters()
+	if counterValue(cs, "chaos_node_crashes") != 1 || counterValue(cs, "chaos_node_heals") != 1 {
+		t.Errorf("counters = %v", cs.Snapshot())
+	}
+	if tr := e.Trace(); len(tr) != 2 || tr[0].Kind != chaos.NodeCrash || tr[1].Kind != chaos.NodeHeal {
+		t.Errorf("trace = %v", e.Trace())
+	}
+	// All evicted pods reschedule onto the replacement capacity.
+	if k8s.PendingPods("worker") != 0 {
+		t.Errorf("%d pods still pending after heal", k8s.PendingPods("worker"))
+	}
+}
+
+func TestEngineNeverKillsLastNode(t *testing.T) {
+	k8s := cluster.New()
+	if err := k8s.AddNode("only", cluster.ResourceSpec{CPUMilli: 4000, MemoryMB: 8192}); err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, chaos.NewSpec("last").CrashNode(0), k8s)
+	e.BeginSlot(0)
+	if got := len(k8s.Nodes()); got != 1 {
+		t.Fatalf("last node was killed")
+	}
+	if counterValue(e.Counters(), "chaos_skipped") != 1 {
+		t.Errorf("skip not counted: %v", e.Counters().Snapshot())
+	}
+}
+
+func TestEnginePodOOMRecreatesPod(t *testing.T) {
+	k8s := testCluster(t)
+	before := k8s.RunningPods("worker")
+	e := newEngine(t, chaos.NewSpec("oom").OOMKillPod(0), k8s)
+	e.BeginSlot(0)
+	if got := k8s.RunningPods("worker"); got != before {
+		t.Errorf("after OOM + reconcile: %d running pods, want %d", got, before)
+	}
+	if counterValue(e.Counters(), "chaos_pod_ooms") != 1 {
+		t.Errorf("counters = %v", e.Counters().Snapshot())
+	}
+	// The replacement is a fresh pod, not the old one resurrected.
+	names := make(map[string]bool)
+	for _, p := range k8s.Pods() {
+		names[p.Name] = true
+	}
+	tr := e.Trace()
+	if len(tr) != 1 {
+		t.Fatalf("trace = %v", tr)
+	}
+	victim := strings.TrimPrefix(tr[0].Detail, "pod ")
+	if names[victim] {
+		t.Errorf("victim %s still alive", victim)
+	}
+}
+
+func TestEngineMidSlotEventFiresOnSchedule(t *testing.T) {
+	k8s := testCluster(t)
+	e := newEngine(t, chaos.NewSpec("mid").CrashLastNode(0).AtSecond(30), k8s)
+	e.BeginSlot(0)
+	if got := len(k8s.Nodes()); got != 3 {
+		t.Fatalf("mid-slot crash fired at the boundary")
+	}
+	k8s.Tick(29)
+	if got := len(k8s.Nodes()); got != 3 {
+		t.Fatalf("mid-slot crash fired at clock 29, want 30")
+	}
+	k8s.Tick(1)
+	if got := len(k8s.Nodes()); got != 2 {
+		t.Fatalf("mid-slot crash did not fire at clock 30")
+	}
+	// Fires once, not on every later tick.
+	k8s.Tick(10)
+	if got := len(k8s.Nodes()); got != 2 {
+		t.Fatalf("crash re-fired: %d nodes", got)
+	}
+}
+
+func TestEngineSchedulerDelayHoldsPendingPods(t *testing.T) {
+	k8s := testCluster(t)
+	e := newEngine(t, chaos.NewSpec("hold").DelayScheduler(0, 30), k8s)
+	e.BeginSlot(0)
+	if err := k8s.Scale("worker", 6); err != nil {
+		t.Fatal(err)
+	}
+	if got := k8s.PendingPods("worker"); got != 2 {
+		t.Fatalf("scale-up placed pods during the hold: %d pending, want 2", got)
+	}
+	k8s.Tick(29)
+	if got := k8s.PendingPods("worker"); got != 2 {
+		t.Fatalf("pods placed at clock 29: %d pending, want 2", got)
+	}
+	k8s.Tick(1)
+	if got := k8s.PendingPods("worker"); got != 0 {
+		t.Fatalf("hold did not lift at clock 30: %d pending", got)
+	}
+}
+
+func TestEngineInterceptRescaleConsumesArmedBursts(t *testing.T) {
+	e := newEngine(t, chaos.NewSpec("sp").FailSavepoints(0, 2).TimeoutRescales(1, 1), nil)
+	e.BeginSlot(0)
+	for i := 0; i < 2; i++ {
+		err := e.InterceptRescale("job", i)
+		if !errors.Is(err, chaos.ErrInjected) {
+			t.Fatalf("attempt %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if err := e.InterceptRescale("job", 2); err != nil {
+		t.Fatalf("burst exhausted but still failing: %v", err)
+	}
+	e.BeginSlot(1)
+	if err := e.InterceptRescale("job", 3); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("timeout burst not armed: %v", err)
+	}
+	cs := e.Counters()
+	if counterValue(cs, "chaos_savepoint_failures") != 2 || counterValue(cs, "chaos_rescale_timeouts") != 1 {
+		t.Errorf("counters = %v", cs.Snapshot())
+	}
+}
+
+func TestEngineExtraRestoreSecondsConsumedOnce(t *testing.T) {
+	e := newEngine(t, chaos.NewSpec("slow").SlowRestore(0, 45), nil)
+	e.BeginSlot(0)
+	if got := e.ExtraRestoreSeconds("job", 0); got != 45 {
+		t.Fatalf("first rescale extra = %d, want 45", got)
+	}
+	if got := e.ExtraRestoreSeconds("job", 1); got != 0 {
+		t.Fatalf("second rescale extra = %d, want 0", got)
+	}
+	if counterValue(e.Counters(), "chaos_slow_restores") != 1 {
+		t.Errorf("counters = %v", e.Counters().Snapshot())
+	}
+}
+
+func TestEngineInterceptReportBlackoutAndStale(t *testing.T) {
+	e := newEngine(t, chaos.NewSpec("win").BlackoutMetrics(1, 1).StaleMetrics(3, 1), nil)
+	repA := &telemetry.SlotReport{Slot: 0}
+	repB := &telemetry.SlotReport{Slot: 2}
+
+	e.BeginSlot(0)
+	if got, err := e.InterceptReport(repA); err != nil || got != repA {
+		t.Fatalf("clean slot intercepted: %v %v", got, err)
+	}
+	e.BeginSlot(1)
+	if _, err := e.InterceptReport(&telemetry.SlotReport{Slot: 1}); !errors.Is(err, monitor.ErrNoSample) || !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("blackout error = %v, want ErrNoSample and ErrInjected", err)
+	}
+	e.BeginSlot(2)
+	if got, err := e.InterceptReport(repB); err != nil || got != repB {
+		t.Fatalf("post-blackout slot intercepted: %v %v", got, err)
+	}
+	e.BeginSlot(3)
+	got, err := e.InterceptReport(&telemetry.SlotReport{Slot: 3})
+	if err != nil || got != repB {
+		t.Fatalf("stale window served %v (%v), want the slot-2 report", got, err)
+	}
+	cs := e.Counters()
+	if counterValue(cs, "chaos_metrics_blackouts") != 1 || counterValue(cs, "chaos_metrics_stale") != 1 {
+		t.Errorf("counters = %v", cs.Snapshot())
+	}
+}
+
+func TestEngineStaleWindowBeforeAnySampleIsBlackout(t *testing.T) {
+	e := newEngine(t, chaos.NewSpec("coldstale").StaleMetrics(0, 1), nil)
+	e.BeginSlot(0)
+	if _, err := e.InterceptReport(&telemetry.SlotReport{Slot: 0}); !errors.Is(err, monitor.ErrNoSample) {
+		t.Fatalf("cold stale window err = %v, want ErrNoSample", err)
+	}
+}
+
+// TestEngineDeterministicReplay drives two engines with the same spec and
+// seed over identically-built clusters and requires identical traces and
+// counters — the core chaos guarantee.
+func TestEngineDeterministicReplay(t *testing.T) {
+	spec := func() *chaos.Spec {
+		return chaos.NewSpec("det").
+			CrashNode(0).
+			OOMKillPod(1).
+			HealNode(2).
+			CrashNode(3).AtSecond(17).
+			FailSavepoints(4, 2)
+	}
+	run := func() ([]chaos.TraceEntry, []telemetry.Counter) {
+		k8s := testCluster(t)
+		e := newEngine(t, spec(), k8s)
+		for slot := 0; slot < 6; slot++ {
+			e.BeginSlot(slot)
+			k8s.Tick(60)
+			_ = e.InterceptRescale("job", slot)
+		}
+		return e.Trace(), e.Counters().Snapshot()
+	}
+	tr1, cs1 := run()
+	tr2, cs2 := run()
+	if !reflect.DeepEqual(tr1, tr2) {
+		t.Errorf("traces diverge:\n%v\n%v", tr1, tr2)
+	}
+	if !reflect.DeepEqual(cs1, cs2) {
+		t.Errorf("counters diverge:\n%v\n%v", cs1, cs2)
+	}
+	if len(tr1) == 0 {
+		t.Error("empty trace")
+	}
+}
+
+func TestEngineInstallRequiresCluster(t *testing.T) {
+	e := newEngine(t, chaos.NewSpec("x").CrashNode(0), nil)
+	if err := e.Install(nil, nil, nil); err == nil {
+		t.Error("Install accepted a nil cluster")
+	}
+}
+
+func TestNewEngineRejectsInvalidSpec(t *testing.T) {
+	if _, err := chaos.NewEngine(chaos.NewSpec("bad").CrashNode(-3), 1, nil); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The named scenarios exercised by the golden chaos suite. Each factory
+// returns a fresh Spec so callers can extend it without aliasing.
+var scenarios = map[string]func() *Spec{
+	// node-flap: a worker node crashes and is replaced three times in a
+	// row, two slots apart — the controller must ride out repeated
+	// capacity loss and re-converge after each heal.
+	"node-flap": func() *Spec {
+		return NewSpec("node-flap").FlapNode(6, 2, 3)
+	},
+	// savepoint-storm: a burst of savepoint failures, then a painfully
+	// slow restore, then a second burst — rescales keep aborting and the
+	// one that succeeds costs a minute of extra downtime.
+	"savepoint-storm": func() *Spec {
+		return NewSpec("savepoint-storm").
+			FailSavepoints(5, 3).
+			SlowRestore(10, 60).
+			FailSavepoints(12, 2)
+	},
+	// metrics-blackout: the metrics server disappears for three slots,
+	// recovers, then serves stale repeats for two more — the controller
+	// must skip those optimizer rounds instead of learning from garbage.
+	"metrics-blackout": func() *Spec {
+		return NewSpec("metrics-blackout").
+			BlackoutMetrics(6, 3).
+			StaleMetrics(12, 2)
+	},
+	// rescale-timeout: two bursts of rescale timeouts — the bounded-retry
+	// path must back off, recover, and never wedge the control loop.
+	"rescale-timeout": func() *Spec {
+		return NewSpec("rescale-timeout").
+			TimeoutRescales(5, 2).
+			TimeoutRescales(11, 3)
+	},
+}
+
+// Names returns the named scenarios in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns a fresh copy of a named scenario.
+func ByName(name string) (*Spec, error) {
+	f, ok := scenarios[name]
+	if !ok {
+		return nil, fmt.Errorf("chaos: unknown scenario %q (have %v)", name, Names())
+	}
+	return f(), nil
+}

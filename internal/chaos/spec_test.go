@@ -1,0 +1,146 @@
+package chaos_test
+
+import (
+	"strings"
+	"testing"
+
+	"dragster/internal/chaos"
+)
+
+func TestSpecDSLBuildsEvents(t *testing.T) {
+	s := chaos.NewSpec("demo").
+		CrashNode(2).AtSecond(30).
+		HealNode(4).
+		OOMKillPod(5).
+		FailSavepoints(6, 3).
+		TimeoutRescales(7, 2).
+		SlowRestore(8, 45).
+		BlackoutMetrics(9, 2).
+		StaleMetrics(11, 1).
+		DelayScheduler(12, 20)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 9 {
+		t.Fatalf("got %d events, want 9", len(s.Events))
+	}
+	if s.Events[0].Kind != chaos.NodeCrash || s.Events[0].Second != 30 {
+		t.Errorf("AtSecond not applied: %+v", s.Events[0])
+	}
+	if s.Events[3].Count != 3 {
+		t.Errorf("FailSavepoints count = %d, want 3", s.Events[3].Count)
+	}
+	if got := s.MaxSlot(); got != 12 {
+		t.Errorf("MaxSlot = %d, want 12", got)
+	}
+}
+
+func TestSpecMaxSlotCountsWindows(t *testing.T) {
+	s := chaos.NewSpec("w").BlackoutMetrics(5, 4)
+	if got := s.MaxSlot(); got != 8 {
+		t.Errorf("MaxSlot = %d, want 8 (window 5..8)", got)
+	}
+	if got := chaos.NewSpec("empty").MaxSlot(); got != -1 {
+		t.Errorf("empty MaxSlot = %d, want -1", got)
+	}
+}
+
+func TestSpecFlapNodeExpansion(t *testing.T) {
+	s := chaos.NewSpec("flap").FlapNode(6, 2, 3)
+	if len(s.Events) != 6 {
+		t.Fatalf("got %d events, want 6", len(s.Events))
+	}
+	wantSlots := []int{6, 8, 10, 12, 14, 16}
+	for i, e := range s.Events {
+		if e.Slot != wantSlots[i] {
+			t.Errorf("event %d at slot %d, want %d", i, e.Slot, wantSlots[i])
+		}
+		wantKind := chaos.NodeCrash
+		if i%2 == 1 {
+			wantKind = chaos.NodeHeal
+		}
+		if e.Kind != wantKind {
+			t.Errorf("event %d kind %v, want %v", i, e.Kind, wantKind)
+		}
+	}
+}
+
+func TestSpecValidateRejectsBadSchedules(t *testing.T) {
+	cases := []*chaos.Spec{
+		nil,
+		chaos.NewSpec(""),
+		chaos.NewSpec("neg").CrashNode(-1),
+		chaos.NewSpec("negwin").BlackoutMetrics(1, -2),
+		chaos.NewSpec("negcount").FailSavepoints(1, -1),
+		chaos.NewSpec("negsec").SlowRestore(1, -5),
+		{Name: "badkind", Events: []chaos.Event{{Kind: chaos.Kind(99)}}},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestAtSecondPanicsOnEmptySpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AtSecond on empty spec did not panic")
+		}
+	}()
+	chaos.NewSpec("x").AtSecond(5)
+}
+
+func TestNamedScenarios(t *testing.T) {
+	names := chaos.Names()
+	want := []string{"metrics-blackout", "node-flap", "rescale-timeout", "savepoint-storm"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	for _, name := range names {
+		s, err := chaos.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("scenario %s invalid: %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("scenario %s has Name %q", name, s.Name)
+		}
+		// Fresh copy every call: mutating one must not leak into the next.
+		s.CrashNode(99)
+		again, err := chaos.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again.Events) == len(s.Events) {
+			t.Errorf("scenario %s is aliased between ByName calls", name)
+		}
+	}
+	if _, err := chaos.ByName("no-such-storm"); err == nil ||
+		!strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("unknown scenario lookup: %v", err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []chaos.Kind{
+		chaos.NodeCrash, chaos.NodeHeal, chaos.PodOOM, chaos.SavepointFail,
+		chaos.RescaleTimeout, chaos.SlowRestore, chaos.MetricsBlackout,
+		chaos.MetricsStale, chaos.SchedulerDelay,
+	}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if strings.HasPrefix(s, "Kind(") || seen[s] {
+			t.Errorf("kind %d has bad or duplicate name %q", int(k), s)
+		}
+		seen[s] = true
+	}
+}

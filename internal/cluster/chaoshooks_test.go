@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+func chaosTestCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c := New()
+	if err := c.AddNodes("n", 2, ResourceSpec{CPUMilli: 4000, MemoryMB: 8192}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateDeployment("w", ResourceSpec{CPUMilli: 1000, MemoryMB: 2048}, 3); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestKillPodRecreatesReplacement(t *testing.T) {
+	c := chaosTestCluster(t)
+	pods := c.Pods()
+	victim := ""
+	for _, p := range pods {
+		if p.Deployment == "w" && p.Phase == PodRunning {
+			victim = p.Name
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no running pod to kill")
+	}
+	if err := c.KillPod(victim); err != nil {
+		t.Fatal(err)
+	}
+	// Reconcile recreated a fresh pod and the scheduler placed it.
+	if got := c.RunningPods("w"); got != 3 {
+		t.Errorf("running pods after OOM-kill = %d, want 3", got)
+	}
+	for _, p := range c.Pods() {
+		if p.Name == victim {
+			t.Errorf("victim %s still alive", victim)
+		}
+	}
+}
+
+func TestKillPodUnknown(t *testing.T) {
+	c := chaosTestCluster(t)
+	if err := c.KillPod("no-such-pod"); !errors.Is(err, ErrUnknownPod) {
+		t.Errorf("KillPod on missing pod = %v, want ErrUnknownPod", err)
+	}
+}
+
+// recordingInjector holds scheduling while hold is set and records every
+// AfterTick clock.
+type recordingInjector struct {
+	hold   bool
+	clocks []int64
+}
+
+func (r *recordingInjector) HoldScheduling(clock int64) bool { return r.hold }
+func (r *recordingInjector) AfterTick(c *Cluster, clock int64) {
+	r.clocks = append(r.clocks, clock)
+}
+
+func TestInjectorHoldsScheduling(t *testing.T) {
+	c := New()
+	if err := c.AddNode("n-0", ResourceSpec{CPUMilli: 4000, MemoryMB: 8192}); err != nil {
+		t.Fatal(err)
+	}
+	in := &recordingInjector{hold: true}
+	c.SetInjector(in)
+	if err := c.CreateDeployment("w", ResourceSpec{CPUMilli: 1000, MemoryMB: 2048}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PendingPods("w"); got != 2 {
+		t.Fatalf("pods scheduled during hold: %d pending, want 2", got)
+	}
+	c.Tick(10)
+	if got := c.PendingPods("w"); got != 2 {
+		t.Fatalf("pods scheduled during held tick: %d pending, want 2", got)
+	}
+	in.hold = false
+	c.Tick(0)
+	if got := c.RunningPods("w"); got != 2 {
+		t.Errorf("pods not scheduled after hold lifted: %d running, want 2", got)
+	}
+}
+
+func TestInjectorAfterTickObservesClock(t *testing.T) {
+	c := New()
+	in := &recordingInjector{}
+	c.SetInjector(in)
+	c.Tick(5)
+	c.Tick(0)
+	c.Tick(7)
+	want := []int64{5, 5, 12}
+	if len(in.clocks) != len(want) {
+		t.Fatalf("AfterTick fired %d times, want %d", len(in.clocks), len(want))
+	}
+	for i := range want {
+		if in.clocks[i] != want[i] {
+			t.Errorf("AfterTick clock[%d] = %d, want %d", i, in.clocks[i], want[i])
+		}
+	}
+}
+
+func TestSetInjectorNilRestoresCleanPath(t *testing.T) {
+	c := New()
+	if err := c.AddNode("n-0", ResourceSpec{CPUMilli: 4000, MemoryMB: 8192}); err != nil {
+		t.Fatal(err)
+	}
+	in := &recordingInjector{hold: true}
+	c.SetInjector(in)
+	c.SetInjector(nil)
+	if err := c.CreateDeployment("w", ResourceSpec{CPUMilli: 1000, MemoryMB: 2048}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.RunningPods("w"); got != 1 {
+		t.Errorf("removed injector still holds scheduling: %d running", got)
+	}
+}
+
+func TestNodeAllocatable(t *testing.T) {
+	c := chaosTestCluster(t)
+	spec, ok := c.NodeAllocatable("n-0")
+	if !ok || spec.CPUMilli != 4000 || spec.MemoryMB != 8192 {
+		t.Errorf("NodeAllocatable = %+v ok=%v", spec, ok)
+	}
+	if _, ok := c.NodeAllocatable("ghost"); ok {
+		t.Error("NodeAllocatable found a ghost node")
+	}
+}

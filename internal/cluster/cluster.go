@@ -81,6 +81,25 @@ type node struct {
 	usedMem     int
 }
 
+// Injector is the cluster-side fault-injection hook. A chaos engine
+// installs one via SetInjector; with none installed every hook site is a
+// no-op, so fault-free runs execute the exact pre-hook code path.
+//
+// Implementations must be deterministic functions of their own seeded
+// state and the observable cluster state: the hooks are called at fixed
+// points of the simulation, so a deterministic injector yields a
+// deterministic fault trace.
+type Injector interface {
+	// HoldScheduling reports whether the scheduler must skip placing
+	// pending pods at the given cluster clock (a scheduler delay spike).
+	// Pods stay Pending until a pass where this returns false.
+	HoldScheduling(clock int64) bool
+	// AfterTick runs after each Tick advance (including Tick(0)) so the
+	// injector can mutate the cluster — kill or heal nodes, OOM-kill pods
+	// — on its own schedule. It must not call c.Tick (re-entrance).
+	AfterTick(c *Cluster, clock int64)
+}
+
 // Cluster is the simulated control plane. It is not safe for concurrent
 // use; the experiment loop drives it from one goroutine, mirroring a
 // single-threaded controller.
@@ -95,7 +114,11 @@ type Cluster struct {
 	podSeq      int
 	pricePerCPU float64 // dollars per core·hour
 	cost        float64 // accrued dollars
+	injector    Injector
 }
+
+// SetInjector installs (or, with nil, removes) the fault-injection hook.
+func (c *Cluster) SetInjector(in Injector) { c.injector = in }
 
 // Option configures a Cluster.
 type Option func(*Cluster)
@@ -176,9 +199,35 @@ func (c *Cluster) RemoveNode(name string) error {
 	return nil
 }
 
+// KillPod simulates an OOM-kill (or any abrupt single-pod death): the pod
+// is terminated and its deployment reconciled, so a fresh replacement pod
+// is created Pending and scheduled when capacity (and the scheduler)
+// allow. Returns ErrUnknownPod for missing pods.
+func (c *Cluster) KillPod(name string) error {
+	p, ok := c.pods[name]
+	if !ok {
+		return ErrUnknownPod
+	}
+	dep := p.Deployment
+	c.terminatePod(p)
+	if _, ok := c.deployments[dep]; ok {
+		c.reconcile(dep)
+	}
+	return nil
+}
+
 // Nodes returns the live node names in registration order.
 func (c *Cluster) Nodes() []string {
 	return append([]string(nil), c.nodeOrder...)
+}
+
+// NodeAllocatable returns a node's allocatable resources.
+func (c *Cluster) NodeAllocatable(name string) (ResourceSpec, bool) {
+	n, ok := c.nodes[name]
+	if !ok {
+		return ResourceSpec{}, false
+	}
+	return n.allocatable, true
 }
 
 // CreateDeployment declares a deployment with the given pod template and
@@ -281,6 +330,9 @@ func (c *Cluster) reconcile(deployment string) {
 // whose remaining CPU after placement is smallest), mirroring the default
 // kube-scheduler's bin-packing tendency under LeastAllocated inversion.
 func (c *Cluster) schedule() {
+	if c.injector != nil && c.injector.HoldScheduling(c.clock) {
+		return // delay spike: pending pods wait for a later pass
+	}
 	for _, name := range c.podOrder {
 		p := c.pods[name]
 		if p == nil || p.Phase != PodPending {
@@ -405,6 +457,9 @@ func (c *Cluster) Tick(seconds int64) {
 	coreSeconds := float64(c.TotalRunningCPUMilli()) / 1000 * float64(seconds)
 	c.cost += coreSeconds / 3600 * c.pricePerCPU
 	c.schedule()
+	if c.injector != nil {
+		c.injector.AfterTick(c, c.clock)
+	}
 }
 
 // Clock returns the cluster time in seconds since start.

@@ -27,6 +27,7 @@ import (
 	"dragster/internal/osp"
 	"dragster/internal/stats"
 	"dragster/internal/store"
+	"dragster/internal/telemetry"
 	"dragster/internal/ucb"
 )
 
@@ -94,6 +95,11 @@ type Config struct {
 	// DB, when set, receives one record per operator per slot, and its
 	// history is replayed into the GPs at construction (warm start).
 	DB *store.DB
+	// Counters, when set, receives fault-handling telemetry
+	// (core_stale_snapshot_skips, core_rejected_capacity_obs). The
+	// experiment runner shares one registry between the controller and the
+	// chaos engine so a run's whole fault story lives in one snapshot.
+	Counters *telemetry.Counters
 	// OSP overrides the default level-1 configuration (Method and YMax
 	// from this Config still take precedence when set there).
 	OSP *osp.Config
@@ -113,6 +119,12 @@ type Controller struct {
 	// invalid (non-positive or non-finite rates); a high count means the
 	// monitor is feeding the Theorem-2 regression garbage.
 	rejectedSamples int
+	// Stale-metric guard: a snapshot whose slot does not advance past the
+	// last decided one is a repeat (metrics staleness) and is skipped
+	// wholesale rather than re-fed into the GPs and dual updates.
+	seenSnap     bool
+	lastSnapSlot int
+	staleSkips   int
 }
 
 // New validates cfg and builds the controller, warm-starting from the
@@ -294,6 +306,18 @@ func (c *Controller) Duals() []float64 { return c.level1.Duals() }
 // model fitting.
 func (c *Controller) RejectedSamples() int { return c.rejectedSamples }
 
+// StaleSkips returns how many optimizer rounds were skipped because the
+// snapshot's slot had already been decided (stale metrics).
+func (c *Controller) StaleSkips() int { return c.staleSkips }
+
+// isFiniteObservation reports whether an Eq. 8 sample is usable: finite
+// capacity and utilization. (Non-positive capacity is filtered separately
+// — it is a valid "operator idle" signal, not garbage.)
+func isFiniteObservation(capacityObs, util float64) bool {
+	return !math.IsNaN(capacityObs) && !math.IsInf(capacityObs, 0) &&
+		!math.IsNaN(util) && !math.IsInf(util, 0)
+}
+
 // LastTargets is set by Decide; see Decide.
 type LastTargets struct {
 	Y           []float64 // level-1 target capacities
@@ -355,11 +379,36 @@ func (c *Controller) DecideConfigs(snap *monitor.Snapshot) ([][]float64, *LastTa
 	if len(snap.SourceRates) != c.g.NumSources() {
 		return nil, nil, fmt.Errorf("core: snapshot has %d source rates, want %d", len(snap.SourceRates), c.g.NumSources())
 	}
+	if c.seenSnap && snap.Slot <= c.lastSnapSlot {
+		// Stale metrics: this slot was already decided. Skip the round —
+		// observing the same noisy samples twice would bias the GPs and
+		// double-count dual violations — and hold the current configuration.
+		c.staleSkips++
+		if c.cfg.Counters != nil {
+			c.cfg.Counters.Inc("core_stale_snapshot_skips")
+		}
+		chosen := make([][]float64, m)
+		for i := range chosen {
+			chosen[i] = c.configFor(i, c.lastTasks[i], c.lastCPU[i])
+		}
+		return chosen, &LastTargets{}, nil
+	}
+	c.seenSnap, c.lastSnapSlot = true, snap.Slot
 	c.slot++
 
 	// (1) Feed Eq. 8 capacity samples into the GPs and the history DB.
 	for i, om := range snap.Operators {
 		cfgVec := c.configFor(i, om.Tasks, om.CPUMilli)
+		if !isFiniteObservation(om.CapacityObs, om.Util) {
+			// Garbage from a misbehaving metrics path (NaN/Inf capacity or
+			// utilization) must never reach the GP or the store.
+			if c.cfg.Counters != nil {
+				c.cfg.Counters.Inc("core_rejected_capacity_obs")
+			}
+			c.lastTasks[i] = om.Tasks
+			c.lastCPU[i] = om.CPUMilli
+			continue
+		}
 		if om.Util >= c.cfg.MinObserveUtil && om.CapacityObs > 0 {
 			if err := c.searchers[i].Observe(cfgVec, om.CapacityObs); err != nil {
 				return nil, nil, err
@@ -410,6 +459,9 @@ func (c *Controller) DecideConfigs(snap *monitor.Snapshot) ([][]float64, *LastTa
 	// (known/predicted) throughput functions at the observed capacities.
 	capObs := make([]float64, m)
 	for i, om := range snap.Operators {
+		if math.IsNaN(om.CapacityObs) || math.IsInf(om.CapacityObs, 0) {
+			continue // rejected above; treat as zero observed capacity
+		}
 		capObs[i] = math.Max(om.CapacityObs, 0)
 	}
 	rep, err := c.g.Evaluate(snap.SourceRates, capObs)

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dragster/internal/telemetry"
+)
+
+var errTransient = errors.New("transient rescale fault")
+
+// scriptedRescaler consumes one scripted error per call (nil = success)
+// and records the applied targets.
+type scriptedRescaler struct {
+	errs  []error
+	calls int
+	last  []int
+}
+
+func (s *scriptedRescaler) RescaleResources(tasks, cpuMilli []int) error {
+	s.calls++
+	s.last = append([]int(nil), tasks...)
+	if len(s.errs) == 0 {
+		return nil
+	}
+	e := s.errs[0]
+	s.errs = s.errs[1:]
+	return e
+}
+
+func transientOnly(err error) bool { return errors.Is(err, errTransient) }
+
+func newRetrier(t *testing.T, cfg RetryConfig) *RescaleRetrier {
+	t.Helper()
+	r, err := NewRescaleRetrier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRetrierSuccessPassthrough(t *testing.T) {
+	r := newRetrier(t, RetryConfig{Retryable: transientOnly})
+	job := &scriptedRescaler{}
+	if err := r.Apply(job, []int{2, 3}, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if job.calls != 1 || job.last[0] != 2 || job.last[1] != 3 {
+		t.Errorf("apply did not pass the target through: calls=%d last=%v", job.calls, job.last)
+	}
+	if r.Pending() || r.LastErr() != nil {
+		t.Errorf("clean success left retry state: pending=%v lastErr=%v", r.Pending(), r.LastErr())
+	}
+}
+
+func TestRetrierRecoversAfterBackoff(t *testing.T) {
+	cs := telemetry.NewCounters()
+	r := newRetrier(t, RetryConfig{Retryable: transientOnly, Counters: cs})
+	job := &scriptedRescaler{errs: []error{errTransient}}
+	target := []int{4, 4}
+
+	if err := r.Apply(job, target, nil, 0); err != nil {
+		t.Fatalf("transient failure escaped: %v", err)
+	}
+	if !r.Pending() || !errors.Is(r.LastErr(), errTransient) {
+		t.Fatalf("failure not absorbed: pending=%v lastErr=%v", r.Pending(), r.LastErr())
+	}
+	// Same slot: still backing off, no new attempt.
+	if err := r.Apply(job, target, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if job.calls != 1 {
+		t.Fatalf("retried during backoff: %d calls", job.calls)
+	}
+	// Next slot: retry succeeds.
+	if err := r.Apply(job, target, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if job.calls != 2 || r.Pending() || r.LastErr() != nil {
+		t.Errorf("recovery incomplete: calls=%d pending=%v lastErr=%v", job.calls, r.Pending(), r.LastErr())
+	}
+	for name, want := range map[string]int64{
+		"rescale_failures":      1,
+		"rescale_backoff_waits": 1,
+		"rescale_retries":       1,
+		"rescale_recovered":     1,
+		"rescale_abandoned":     0,
+	} {
+		if got := cs.Get(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestRetrierNewTargetSupersedesPending(t *testing.T) {
+	r := newRetrier(t, RetryConfig{Retryable: transientOnly, BackoffSlots: 4, MaxBackoffSlots: 8})
+	job := &scriptedRescaler{errs: []error{errTransient}}
+	if err := r.Apply(job, []int{2, 2}, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A different target at the very next slot must not wait out the old
+	// backoff: it supersedes the pending one and applies immediately.
+	if err := r.Apply(job, []int{3, 3}, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if job.calls != 2 || job.last[0] != 3 {
+		t.Errorf("superseding target not applied: calls=%d last=%v", job.calls, job.last)
+	}
+	if r.Pending() {
+		t.Error("retry state survived a successful supersede")
+	}
+}
+
+func TestRetrierAbandonsAfterMaxAttempts(t *testing.T) {
+	cs := telemetry.NewCounters()
+	r := newRetrier(t, RetryConfig{MaxAttempts: 2, Retryable: transientOnly, Counters: cs})
+	job := &scriptedRescaler{errs: []error{errTransient, errTransient}}
+	target := []int{5, 5}
+	if err := r.Apply(job, target, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply(job, target, nil, 1); err != nil {
+		t.Fatalf("abandonment must absorb the final error: %v", err)
+	}
+	if r.Pending() {
+		t.Error("abandoned target still pending")
+	}
+	if !errors.Is(r.LastErr(), errTransient) {
+		t.Errorf("abandonment lost the last error: %v", r.LastErr())
+	}
+	if got := cs.Get("rescale_abandoned"); got != 1 {
+		t.Errorf("rescale_abandoned = %d, want 1", got)
+	}
+	// The next (fresh) target starts with a clean attempt budget.
+	if err := r.Apply(job, []int{6, 6}, nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	if job.last[0] != 6 {
+		t.Errorf("fresh target not applied after abandonment: %v", job.last)
+	}
+}
+
+func TestRetrierBackoffGrowsAndCaps(t *testing.T) {
+	r := newRetrier(t, RetryConfig{MaxAttempts: 10, BackoffSlots: 1, MaxBackoffSlots: 2, Retryable: transientOnly})
+	job := &scriptedRescaler{errs: []error{errTransient, errTransient, errTransient}}
+	target := []int{7, 7}
+	// Failure 1 at slot 0 → backoff 1 → eligible at slot 1.
+	if err := r.Apply(job, target, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Failure 2 at slot 1 → backoff 2 → eligible at slot 3.
+	if err := r.Apply(job, target, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply(job, target, nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	if job.calls != 2 {
+		t.Fatalf("attempted during grown backoff: %d calls", job.calls)
+	}
+	// Failure 3 at slot 3 → backoff would be 4, capped at 2 → slot 5.
+	if err := r.Apply(job, target, nil, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply(job, target, nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	if job.calls != 3 {
+		t.Fatalf("attempted during capped backoff: %d calls", job.calls)
+	}
+	if err := r.Apply(job, target, nil, 5); err != nil {
+		t.Fatal(err)
+	}
+	if job.calls != 4 || r.Pending() {
+		t.Errorf("capped backoff retry missing: calls=%d pending=%v", job.calls, r.Pending())
+	}
+}
+
+func TestRetrierNonRetryablePropagates(t *testing.T) {
+	r := newRetrier(t, RetryConfig{Retryable: transientOnly})
+	fatal := errors.New("bad parallelism")
+	job := &scriptedRescaler{errs: []error{fatal}}
+	err := r.Apply(job, []int{1, 1}, nil, 0)
+	if !errors.Is(err, fatal) {
+		t.Fatalf("fatal error absorbed: %v", err)
+	}
+	if r.Pending() {
+		t.Error("fatal error left a pending target")
+	}
+}
+
+func TestRetrierNilRetryableTreatsAllAsTransient(t *testing.T) {
+	r := newRetrier(t, RetryConfig{})
+	job := &scriptedRescaler{errs: []error{errors.New("anything")}}
+	if err := r.Apply(job, []int{1, 1}, nil, 0); err != nil {
+		t.Fatalf("nil Retryable did not absorb: %v", err)
+	}
+	if !r.Pending() {
+		t.Error("absorbed failure not pending")
+	}
+}
+
+func TestRetrierValidation(t *testing.T) {
+	if err := (&RescaleRetrier{}).Apply(nil, []int{1}, nil, 0); err == nil {
+		t.Error("nil rescaler accepted")
+	}
+	if _, err := NewRescaleRetrier(RetryConfig{BackoffSlots: 4, MaxBackoffSlots: 2}); err == nil {
+		t.Error("MaxBackoffSlots < BackoffSlots accepted")
+	}
+	if _, err := NewRescaleRetrier(RetryConfig{MaxAttempts: -1}); err == nil {
+		t.Error("negative MaxAttempts accepted")
+	}
+}
+
+func TestRetrierCPUDimensionTracked(t *testing.T) {
+	r := newRetrier(t, RetryConfig{Retryable: transientOnly})
+	job := &scriptedRescaler{errs: []error{errTransient}}
+	if err := r.Apply(job, []int{2, 2}, []int{500, 500}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Same tasks, different CPU = a different target → applied immediately.
+	if err := r.Apply(job, []int{2, 2}, []int{1000, 1000}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if job.calls != 2 {
+		t.Errorf("CPU-only change did not supersede: %d calls", job.calls)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"dragster/internal/baseline"
+	"dragster/internal/chaos"
 	"dragster/internal/cluster"
 	"dragster/internal/core"
 	"dragster/internal/dag"
@@ -69,6 +70,18 @@ type Scenario struct {
 	// HealNodeAtSlot, when positive, adds a replacement node at the
 	// start of that slot. Must be ≥ FailNodeAtSlot when both are set.
 	HealNodeAtSlot int
+	// Chaos, when set, replays the fault schedule through a seeded
+	// chaos.Engine wired into the cluster, the Flink job (Storm has no
+	// rescale hook surface), and the monitor. Mutually exclusive with the
+	// legacy FailNodeAtSlot/HealNodeAtSlot pair, which setDefaults
+	// converts into an equivalent Chaos spec.
+	Chaos *chaos.Spec
+	// ChaosSeed seeds the chaos engine's victim selection (default
+	// Seed+104729 so chaos randomness never aliases workload noise).
+	ChaosSeed int64
+	// Counters receives fault/retry/skip telemetry from the chaos engine,
+	// the rescale retrier, and the controller (default: a fresh registry).
+	Counters *telemetry.Counters
 }
 
 func (sc *Scenario) setDefaults() error {
@@ -132,6 +145,31 @@ func (sc *Scenario) setDefaults() error {
 	}
 	if sc.FailNodeAtSlot > 0 && sc.HealNodeAtSlot > 0 && sc.HealNodeAtSlot < sc.FailNodeAtSlot {
 		return errors.New("experiment: HealNodeAtSlot before FailNodeAtSlot")
+	}
+	if sc.Chaos != nil && (sc.FailNodeAtSlot > 0 || sc.HealNodeAtSlot > 0) {
+		return errors.New("experiment: set either Chaos or the legacy FailNodeAtSlot/HealNodeAtSlot pair, not both")
+	}
+	if sc.Chaos == nil && (sc.FailNodeAtSlot > 0 || sc.HealNodeAtSlot > 0) {
+		// Legacy single-failure schedule: same semantics, one engine.
+		legacy := chaos.NewSpec("legacy-node-chaos")
+		if sc.FailNodeAtSlot > 0 {
+			legacy.CrashLastNode(sc.FailNodeAtSlot)
+		}
+		if sc.HealNodeAtSlot > 0 {
+			legacy.HealNode(sc.HealNodeAtSlot)
+		}
+		sc.Chaos = legacy
+	}
+	if sc.Chaos != nil {
+		if err := sc.Chaos.Validate(); err != nil {
+			return err
+		}
+	}
+	if sc.ChaosSeed == 0 {
+		sc.ChaosSeed = sc.Seed + 104729
+	}
+	if sc.Counters == nil {
+		sc.Counters = telemetry.NewCounters()
 	}
 	return nil
 }
@@ -208,6 +246,7 @@ func dragsterFactory(method osp.Method, acq ucb.Acquisition) PolicyFactory {
 			HyperoptEvery: hyperopt,
 			RNG:           rng,
 			ForecastAlpha: sc.ForecastAlpha,
+			Counters:      sc.Counters,
 		})
 	}
 }
@@ -300,19 +339,27 @@ type Result struct {
 	// OptimaByPhase maps each phase-start slot to the optimal steady state
 	// under that phase's rates (and the scenario budget).
 	OptimaByPhase map[int]*Optimum
+	// SkippedRounds counts decision rounds skipped for want of a fresh
+	// metrics sample (metrics blackouts / stale windows).
+	SkippedRounds int
+	// Counters is the run's shared fault/retry telemetry registry.
+	Counters *telemetry.Counters
 }
 
 // Runner executes a scenario one decision slot at a time. Use it when a
 // caller (e.g. the dragsterd daemon) needs to observe or pace individual
 // slots; Run wraps it for batch execution.
 type Runner struct {
-	sc     Scenario
-	policy core.Autoscaler
-	job    JobRuntime
-	k8s    *cluster.Cluster
-	mon    *monitor.Monitor
-	res    *Result
-	slot   int
+	sc      Scenario
+	policy  core.Autoscaler
+	job     JobRuntime
+	k8s     *cluster.Cluster
+	mon     *monitor.Monitor
+	chaos   *chaos.Engine
+	retrier *core.RescaleRetrier
+	res     *Result
+	slot    int
+	skipped int
 }
 
 // NewRunner validates the scenario, builds the full stack (cluster, Flink
@@ -380,6 +427,26 @@ func NewRunner(sc Scenario, factory PolicyFactory) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	var chaosEng *chaos.Engine
+	if sc.Chaos != nil {
+		chaosEng, err = chaos.NewEngine(sc.Chaos, sc.ChaosSeed, sc.Counters)
+		if err != nil {
+			return nil, err
+		}
+		// The Flink rescale hooks only exist on flink.Job; Storm topologies
+		// get cluster- and monitor-level faults only.
+		fj, _ := job.(*flink.Job)
+		if err := chaosEng.Install(k8s, fj, mon); err != nil {
+			return nil, err
+		}
+	}
+	retrier, err := core.NewRescaleRetrier(core.RetryConfig{
+		Retryable: func(err error) bool { return errors.Is(err, chaos.ErrInjected) },
+		Counters:  sc.Counters,
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		Policy:        policy.Name(),
@@ -396,32 +463,34 @@ func NewRunner(sc Scenario, factory PolicyFactory) (*Runner, error) {
 		}
 		res.OptimaByPhase[ps] = opt
 	}
-	return &Runner{sc: sc, policy: policy, job: job, k8s: k8s, mon: mon, res: res}, nil
+	res.Counters = sc.Counters
+	return &Runner{sc: sc, policy: policy, job: job, k8s: k8s, mon: mon,
+		chaos: chaosEng, retrier: retrier, res: res}, nil
 }
 
-// applyChaos executes the scenario's node-failure schedule at the start
-// of the given slot.
-func (r *Runner) applyChaos(slot int) error {
-	if r.sc.FailNodeAtSlot > 0 && slot == r.sc.FailNodeAtSlot {
-		// Kill the last worker node (control-plane pods were scheduled
-		// first onto the earliest nodes by the best-fit policy, so the
-		// last node carries only TaskManagers/workers in practice; if it
-		// happens to host control pods they simply reschedule).
-		nodes := r.k8s.Nodes()
-		if len(nodes) > 1 {
-			if err := r.k8s.RemoveNode(nodes[len(nodes)-1]); err != nil {
-				return err
-			}
-		}
+// applyChaos fires the scenario's fault schedule at the start of the
+// given slot (a no-op without a chaos spec).
+func (r *Runner) applyChaos(slot int) {
+	if r.chaos != nil {
+		r.chaos.BeginSlot(slot)
 	}
-	if r.sc.HealNodeAtSlot > 0 && slot == r.sc.HealNodeAtSlot {
-		if err := r.k8s.AddNode(fmt.Sprintf("replacement-%d", slot), cluster.ResourceSpec{CPUMilli: 4000, MemoryMB: 8192}); err != nil {
-			return err
-		}
-		r.k8s.Tick(0)
-	}
-	return nil
 }
+
+// ChaosTrace returns the deterministic fault trace so far (nil without a
+// chaos spec).
+func (r *Runner) ChaosTrace() []chaos.TraceEntry {
+	if r.chaos == nil {
+		return nil
+	}
+	return r.chaos.Trace()
+}
+
+// FaultCounters returns the scenario's shared telemetry registry.
+func (r *Runner) FaultCounters() *telemetry.Counters { return r.sc.Counters }
+
+// SkippedRounds returns how many decision rounds were skipped because the
+// metrics pipeline had no fresh sample.
+func (r *Runner) SkippedRounds() int { return r.skipped }
 
 // PolicyName returns the running policy's name.
 func (r *Runner) PolicyName() string { return r.policy.Name() }
@@ -446,9 +515,7 @@ func (r *Runner) Step() (*SlotTrace, error) {
 	m := g.NumOperators()
 	slot := r.slot
 
-	if err := r.applyChaos(slot); err != nil {
-		return nil, err
-	}
+	r.applyChaos(slot)
 	rates := sc.Rates(slot, 0)
 	rep, err := r.job.RunSlot(sc.SlotSeconds, func(sec int) []float64 {
 		return sc.Rates(slot, sec)
@@ -499,6 +566,17 @@ func (r *Runner) Step() (*SlotTrace, error) {
 
 	snap, err := r.mon.Collect()
 	if err != nil {
+		if errors.Is(err, monitor.ErrNoSample) {
+			// Metrics blackout or stale repeat: no observation this slot.
+			// Skip the optimizer round and keep the current configuration
+			// rather than feeding the learner a fabricated sample.
+			r.skipped++
+			r.res.SkippedRounds = r.skipped
+			r.sc.Counters.Inc("runner_skipped_rounds")
+			r.res.Trace = append(r.res.Trace, tr)
+			r.slot++
+			return &r.res.Trace[len(r.res.Trace)-1], nil
+		}
 		return nil, err
 	}
 	var desired []int
@@ -523,7 +601,10 @@ func (r *Runner) Step() (*SlotTrace, error) {
 	r.res.Trace = append(r.res.Trace, tr)
 	r.slot++
 	if !r.Done() {
-		if err := r.job.RescaleResources(desired, desiredCPU); err != nil {
+		// Bounded-retry apply: injected savepoint failures and rescale
+		// timeouts are absorbed and retried with slot-based backoff; any
+		// non-injected error is fatal as before.
+		if err := r.retrier.Apply(r.job, desired, desiredCPU, slot); err != nil {
 			return nil, err
 		}
 	}

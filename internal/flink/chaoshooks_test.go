@@ -1,0 +1,107 @@
+package flink
+
+import (
+	"errors"
+	"testing"
+)
+
+var errSavepoint = errors.New("savepoint boom")
+
+// scriptedHooks fails the next failNext rescales, then succeeds with a
+// fixed extra restore pause.
+type scriptedHooks struct {
+	failNext int
+	extra    int
+	calls    int
+}
+
+func (h *scriptedHooks) InterceptRescale(job string, slot int) error {
+	h.calls++
+	if h.failNext > 0 {
+		h.failNext--
+		return errSavepoint
+	}
+	return nil
+}
+
+func (h *scriptedHooks) ExtraRestoreSeconds(job string, slot int) int { return h.extra }
+
+func TestInterceptRescaleAbortsWithoutMutation(t *testing.T) {
+	_, j := newSessionWithJob(t, 8, []int{1, 1})
+	h := &scriptedHooks{failNext: 1}
+	j.SetChaosHooks(h)
+	rates := func(int) []float64 { return []float64{100} }
+
+	err := j.Rescale([]int{2, 2})
+	if !errors.Is(err, errSavepoint) {
+		t.Fatalf("aborted rescale err = %v, want errSavepoint", err)
+	}
+	if got := j.Parallelism(); got[0] != 1 || got[1] != 1 {
+		t.Errorf("desired parallelism mutated on abort: %v", got)
+	}
+	if got := j.EffectiveParallelism(); got[0] != 1 || got[1] != 1 {
+		t.Errorf("effective parallelism mutated on abort: %v", got)
+	}
+	rep, err := j.RunSlot(30, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PausedSeconds != 0 {
+		t.Errorf("aborted rescale charged %d paused seconds", rep.PausedSeconds)
+	}
+
+	// Retrying once the failure clears applies the change and charges the
+	// normal stop-and-resume pause.
+	if err := j.Rescale([]int{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = j.RunSlot(60, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PausedSeconds != 30 {
+		t.Errorf("recovered rescale paused %d s, want 30", rep.PausedSeconds)
+	}
+	if got := j.EffectiveParallelism(); got[0] != 2 || got[1] != 2 {
+		t.Errorf("parallelism after recovery = %v", got)
+	}
+}
+
+func TestInterceptRescaleSkippedForNoOp(t *testing.T) {
+	_, j := newSessionWithJob(t, 8, []int{2, 2})
+	h := &scriptedHooks{failNext: 99}
+	j.SetChaosHooks(h)
+	// A no-change rescale never reaches the savepoint path, so an armed
+	// failure must not fire.
+	if err := j.Rescale([]int{2, 2}); err != nil {
+		t.Fatalf("no-op rescale failed: %v", err)
+	}
+	if h.calls != 0 {
+		t.Errorf("hooks consulted %d times for a no-op rescale", h.calls)
+	}
+}
+
+func TestExtraRestoreSecondsExtendsPause(t *testing.T) {
+	_, j := newSessionWithJob(t, 8, []int{1, 1})
+	j.SetChaosHooks(&scriptedHooks{extra: 15})
+	rates := func(int) []float64 { return []float64{100} }
+	if err := j.Rescale([]int{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := j.RunSlot(60, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PausedSeconds != 45 {
+		t.Errorf("slow restore paused %d s, want 30+15", rep.PausedSeconds)
+	}
+}
+
+func TestSetChaosHooksNilRestoresCleanPath(t *testing.T) {
+	_, j := newSessionWithJob(t, 8, []int{1, 1})
+	j.SetChaosHooks(&scriptedHooks{failNext: 99})
+	j.SetChaosHooks(nil)
+	if err := j.Rescale([]int{2, 2}); err != nil {
+		t.Fatalf("rescale with removed hooks failed: %v", err)
+	}
+}

@@ -72,6 +72,21 @@ func NewSession(k8s *cluster.Cluster, opts Options) (*SessionCluster, error) {
 // Cluster returns the underlying Kubernetes cluster.
 func (s *SessionCluster) Cluster() *cluster.Cluster { return s.k8s }
 
+// ChaosHooks is the Flink-side fault-injection surface. A chaos engine
+// installs one via Job.SetChaosHooks; with none installed every hook site
+// is a no-op, so fault-free runs execute the exact pre-hook code path.
+type ChaosHooks interface {
+	// InterceptRescale is consulted before a non-trivial rescale is
+	// applied. A non-nil error aborts the rescale — modelling a savepoint
+	// failure or a rescale timeout — and the job keeps its previous
+	// configuration; the error is propagated to the caller.
+	InterceptRescale(job string, slot int) error
+	// ExtraRestoreSeconds returns additional pause seconds to charge on a
+	// successful rescale (a slow savepoint restore); 0 for the normal
+	// stop-and-resume cost.
+	ExtraRestoreSeconds(job string, slot int) int
+}
+
 // Job is a running Flink application.
 type Job struct {
 	name    string
@@ -84,7 +99,12 @@ type Job struct {
 
 	slot       int
 	lastReport *SlotReport
+	hooks      ChaosHooks
 }
+
+// SetChaosHooks installs (or, with nil, removes) the fault-injection
+// hooks consulted by Rescale/RescaleResources.
+func (j *Job) SetChaosHooks(h ChaosHooks) { j.hooks = h }
 
 // SubmitJob deploys a job: one TaskManager deployment per operator with
 // the initial parallelism, wired to the supplied simulation engine. A
@@ -190,6 +210,14 @@ func (j *Job) RescaleResources(parallelism []int, cpuMilli []int) error {
 	if !changed {
 		return nil
 	}
+	if j.hooks != nil {
+		if err := j.hooks.InterceptRescale(j.name, j.slot); err != nil {
+			// Savepoint failure / rescale timeout: the job keeps running on
+			// its previous configuration and the caller decides whether (and
+			// when) to retry.
+			return fmt.Errorf("flink: rescale of %s aborted: %w", j.name, err)
+		}
+	}
 	for i := range j.desired {
 		if cpuMilli != nil {
 			if cur, ok := j.session.k8s.DeploymentSpec(j.deployments[i]); ok && cur.CPUMilli != cpuMilli[i] {
@@ -210,7 +238,13 @@ func (j *Job) RescaleResources(parallelism []int, cpuMilli []int) error {
 	if err := j.syncEngineTasks(); err != nil {
 		return err
 	}
-	j.engine.Pause(j.session.opts.RescalePauseSeconds)
+	pause := j.session.opts.RescalePauseSeconds
+	if j.hooks != nil {
+		if extra := j.hooks.ExtraRestoreSeconds(j.name, j.slot); extra > 0 {
+			pause += extra // slow savepoint restore
+		}
+	}
+	j.engine.Pause(pause)
 	return nil
 }
 

@@ -133,10 +133,31 @@ func (c *Config) setDefaults() {
 	}
 }
 
+// ErrNoSample reports that the metrics pipeline has no fresh sample for
+// the current slot — the metrics server is blacked out, or the fetched
+// report is a stale repeat of one already collected. Callers must treat
+// it as "no observation this slot" (skip the optimizer round), never as a
+// zero or repeated measurement.
+var ErrNoSample = errors.New("monitor: no fresh sample")
+
+// Interceptor sits between the Source and the Monitor. A chaos engine
+// installs one via SetInterceptor to model metrics-server dropouts
+// (return an error wrapping ErrNoSample) or staleness (return a previous
+// report); with none installed the fetch path is unchanged.
+type Interceptor interface {
+	// InterceptReport receives the freshly fetched report and returns the
+	// report the Monitor should see, or an error.
+	InterceptReport(rep *telemetry.SlotReport) (*telemetry.SlotReport, error)
+}
+
 // Monitor converts raw slot reports into snapshots.
 type Monitor struct {
 	src Source
 	cfg Config
+
+	interceptor Interceptor
+	collected   bool
+	lastSlot    int
 }
 
 // New returns a Monitor over the given source.
@@ -151,12 +172,33 @@ func New(src Source, cfg Config) (*Monitor, error) {
 	return &Monitor{src: src, cfg: cfg}, nil
 }
 
+// SetInterceptor installs (or, with nil, removes) the fetch interceptor.
+func (m *Monitor) SetInterceptor(ic Interceptor) { m.interceptor = ic }
+
 // Collect fetches the latest slot report and derives operator metrics.
+// A report whose slot does not advance past the last collected one is a
+// stale repeat — the job produced no new data since the previous Collect —
+// and yields an error wrapping ErrNoSample instead of silently re-serving
+// old measurements.
 func (m *Monitor) Collect() (*Snapshot, error) {
 	rep, err := m.src.Fetch()
 	if err != nil {
 		return nil, err
 	}
+	if m.interceptor != nil {
+		rep, err = m.interceptor.InterceptReport(rep)
+		if err != nil {
+			return nil, err
+		}
+		if rep == nil {
+			return nil, fmt.Errorf("monitor: interceptor returned nil report: %w", ErrNoSample)
+		}
+	}
+	if m.collected && rep.Slot <= m.lastSlot {
+		return nil, fmt.Errorf("monitor: slot %d already collected, report is stale: %w", rep.Slot, ErrNoSample)
+	}
+	m.collected = true
+	m.lastSlot = rep.Slot
 	snap := &Snapshot{
 		Slot:            rep.Slot,
 		Throughput:      rep.Throughput,

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counter is one named monotonic count in a Counters snapshot.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Counters is a registry of named monotonic counters. The chaos engine and
+// the controller hardening paths use one to account for every fault seen,
+// retried, and recovered, so a seeded run's fault handling can be compared
+// across runs counter-for-counter. Snapshots are sorted by name, making
+// String output deterministic regardless of increment order. Safe for
+// concurrent use.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty registry.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]int64)}
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Add increments the named counter by delta. Negative deltas panic:
+// counters are monotonic so two runs can be compared by value.
+func (c *Counters) Add(name string, delta int64) {
+	if delta < 0 {
+		panic(fmt.Sprintf("telemetry: negative counter delta %d for %q", delta, name))
+	}
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the named counter's value (0 when never incremented).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns all counters sorted by name.
+func (c *Counters) Snapshot() []Counter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Counter, 0, len(c.m))
+	for name, v := range c.m {
+		out = append(out, Counter{Name: name, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// String renders the snapshot as "name=value name=value ..." in name
+// order; the empty registry renders as "".
+func (c *Counters) String() string {
+	snap := c.Snapshot()
+	parts := make([]string, len(snap))
+	for i, ct := range snap {
+		parts[i] = fmt.Sprintf("%s=%d", ct.Name, ct.Value)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	if got := c.Get("missing"); got != 0 {
+		t.Errorf("Get(missing) = %d", got)
+	}
+	c.Inc("b")
+	c.Add("a", 3)
+	c.Inc("b")
+	if got := c.Get("a"); got != 3 {
+		t.Errorf("a = %d", got)
+	}
+	if got := c.Get("b"); got != 2 {
+		t.Errorf("b = %d", got)
+	}
+	snap := c.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "a" || snap[1].Name != "b" {
+		t.Errorf("snapshot not sorted: %+v", snap)
+	}
+	if got, want := c.String(), "a=3 b=2"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got := NewCounters().String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestCountersNegativeDeltaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delta did not panic")
+		}
+	}()
+	NewCounters().Add("x", -1)
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc("hits")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("hits"); got != 8000 {
+		t.Errorf("hits = %d, want 8000", got)
+	}
+}
