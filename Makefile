@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-snapshot fuzz-smoke lint repro repro-quick examples clean
+.PHONY: all build test race cover bench bench-snapshot fuzz-smoke lint repro repro-quick examples clean
 
 all: build test lint
 
@@ -23,6 +23,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Per-package coverage with the checked-in floors enforced
+# (COVERAGE_FLOOR.txt; see cmd/covergate). CI runs the same gate.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) run ./cmd/covergate -profile cover.out -floors COVERAGE_FLOOR.txt
 
 # Short coverage-guided run of every fuzz target (go test accepts one
 # -fuzz pattern per invocation, hence the loop). Catches fuzz-harness rot

@@ -1,0 +1,209 @@
+// Command covergate enforces per-package statement-coverage floors. It
+// parses one or more Go cover profiles (`go test -coverprofile`), computes
+// coverage per package (the directory of each instrumented file), and
+// exits non-zero if any package listed in the floor file is below its
+// checked-in floor — the CI gate that keeps the observability and fault
+// layers from silently losing test coverage.
+//
+//	go test -coverprofile=cover.out ./...
+//	go run ./cmd/covergate -profile cover.out -floors COVERAGE_FLOOR.txt
+//
+// The floor file holds one `import/path minimum-percent` pair per line;
+// blank lines and #-comments are ignored. Packages not listed are
+// reported but never gate.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// block is one cover-profile block key; profiles merged across test
+// binaries may repeat a block, in which case the highest count wins
+// (matching `go tool cover` semantics).
+type block struct {
+	file string
+	span string // "l0.c0,l1.c1"
+}
+
+// pkgCoverage accumulates statement counts for one package.
+type pkgCoverage struct {
+	total, covered int
+}
+
+// parseProfiles folds cover-profile readers into per-package statement
+// coverage. The first line of each profile is the `mode:` header; every
+// other line is `file:l0.c0,l1.c1 numStmts count`.
+func parseProfiles(readers ...io.Reader) (map[string]*pkgCoverage, error) {
+	stmts := make(map[block]int)  // block → numStmts
+	counts := make(map[block]int) // block → max execution count
+	for _, r := range readers {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "mode:") {
+				continue
+			}
+			colon := strings.LastIndex(line, ":")
+			if colon < 0 {
+				return nil, fmt.Errorf("covergate: malformed profile line %q", line)
+			}
+			file := line[:colon]
+			fields := strings.Fields(line[colon+1:])
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("covergate: malformed profile line %q", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("covergate: bad statement count in %q: %v", line, err)
+			}
+			cnt, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("covergate: bad execution count in %q: %v", line, err)
+			}
+			b := block{file: file, span: fields[0]}
+			stmts[b] = n
+			if cnt > counts[b] {
+				counts[b] = cnt
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string]*pkgCoverage)
+	for b, n := range stmts {
+		pkg := path.Dir(b.file)
+		pc, ok := out[pkg]
+		if !ok {
+			pc = &pkgCoverage{}
+			out[pkg] = pc
+		}
+		pc.total += n
+		if counts[b] > 0 {
+			pc.covered += n
+		}
+	}
+	return out, nil
+}
+
+// percent returns the package's statement coverage in [0, 100].
+func (p *pkgCoverage) percent() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.total)
+}
+
+// floorEntry is one gated package.
+type floorEntry struct {
+	pkg   string
+	floor float64
+}
+
+// parseFloors reads the floor file: `import/path percent` per line, with
+// blank lines and #-comments skipped.
+func parseFloors(r io.Reader) ([]floorEntry, error) {
+	var out []floorEntry
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("covergate: malformed floor line %q", line)
+		}
+		f, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || f < 0 || f > 100 {
+			return nil, fmt.Errorf("covergate: bad floor %q for %s", fields[1], fields[0])
+		}
+		out = append(out, floorEntry{pkg: fields[0], floor: f})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// gate reports per-package coverage to w and returns the gated packages
+// that fell below their floor (or are missing from the profile entirely).
+func gate(w io.Writer, cov map[string]*pkgCoverage, floors []floorEntry) []string {
+	pkgs := make([]string, 0, len(cov))
+	for pkg := range cov {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	floorFor := make(map[string]float64, len(floors))
+	for _, f := range floors {
+		floorFor[f.pkg] = f.floor
+	}
+	fmt.Fprintf(w, "%-40s %9s %9s\n", "package", "coverage", "floor")
+	for _, pkg := range pkgs {
+		floorCol := "-"
+		if f, ok := floorFor[pkg]; ok {
+			floorCol = fmt.Sprintf("%.1f%%", f)
+		}
+		fmt.Fprintf(w, "%-40s %8.1f%% %9s\n", pkg, cov[pkg].percent(), floorCol)
+	}
+	var failed []string
+	for _, f := range floors {
+		pc, ok := cov[f.pkg]
+		if !ok {
+			failed = append(failed, fmt.Sprintf("%s: no coverage data (floor %.1f%%)", f.pkg, f.floor))
+			continue
+		}
+		if got := pc.percent(); got < f.floor {
+			failed = append(failed, fmt.Sprintf("%s: %.1f%% < floor %.1f%%", f.pkg, got, f.floor))
+		}
+	}
+	return failed
+}
+
+func main() {
+	profile := flag.String("profile", "cover.out", "cover profile produced by go test -coverprofile")
+	floorsPath := flag.String("floors", "COVERAGE_FLOOR.txt", "per-package coverage floors")
+	flag.Parse()
+
+	pf, err := os.Open(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer pf.Close()
+	cov, err := parseProfiles(pf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ff, err := os.Open(*floorsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer ff.Close()
+	floors, err := parseFloors(ff)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	failed := gate(os.Stdout, cov, floors)
+	if len(failed) > 0 {
+		fmt.Fprintln(os.Stderr, "\ncoverage gate FAILED:")
+		for _, f := range failed {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\ncoverage gate passed")
+}

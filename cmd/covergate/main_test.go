@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleProfile = `mode: set
+dragster/internal/telemetry/trace.go:10.20,12.2 2 1
+dragster/internal/telemetry/trace.go:14.20,16.2 2 0
+dragster/internal/core/controller.go:5.10,9.2 4 3
+dragster/internal/core/controller.go:11.10,13.2 1 0
+`
+
+func TestParseProfiles(t *testing.T) {
+	cov, err := parseProfiles(strings.NewReader(sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tele := cov["dragster/internal/telemetry"]
+	if tele == nil || tele.total != 4 || tele.covered != 2 {
+		t.Fatalf("telemetry coverage = %+v, want total 4 covered 2", tele)
+	}
+	core := cov["dragster/internal/core"]
+	if core == nil || core.total != 5 || core.covered != 4 {
+		t.Fatalf("core coverage = %+v, want total 5 covered 4", core)
+	}
+	if got := core.percent(); got != 80 {
+		t.Errorf("core percent = %v, want 80", got)
+	}
+}
+
+// TestParseProfilesMergesDuplicateBlocks: profiles concatenated from
+// several test binaries repeat blocks; the highest execution count must
+// win, matching `go tool cover`.
+func TestParseProfilesMergesDuplicateBlocks(t *testing.T) {
+	a := "mode: set\ndragster/internal/x/f.go:1.1,2.2 3 0\n"
+	b := "mode: set\ndragster/internal/x/f.go:1.1,2.2 3 5\n"
+	cov, err := parseProfiles(strings.NewReader(a), strings.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := cov["dragster/internal/x"]
+	if pc == nil || pc.total != 3 || pc.covered != 3 {
+		t.Fatalf("merged coverage = %+v, want total 3 covered 3", pc)
+	}
+}
+
+func TestParseProfilesRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no-colon-here 1 2 3\n",
+		"f.go:1.1,2.2 1\n",
+		"f.go:1.1,2.2 x 1\n",
+		"f.go:1.1,2.2 1 x\n",
+	} {
+		if _, err := parseProfiles(strings.NewReader(bad)); err == nil {
+			t.Errorf("malformed line %q accepted", strings.TrimSpace(bad))
+		}
+	}
+}
+
+func TestParseFloors(t *testing.T) {
+	in := `# gated packages
+dragster/internal/core 75.5
+
+dragster/internal/telemetry 90
+`
+	floors, err := parseFloors(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(floors) != 2 {
+		t.Fatalf("got %d floors, want 2", len(floors))
+	}
+	if floors[0].pkg != "dragster/internal/core" || floors[0].floor != 75.5 {
+		t.Errorf("floors[0] = %+v", floors[0])
+	}
+	for _, bad := range []string{"pkg\n", "pkg 101\n", "pkg -1\n", "pkg x\n", "pkg 1 2\n"} {
+		if _, err := parseFloors(strings.NewReader(bad)); err == nil {
+			t.Errorf("malformed floor line %q accepted", strings.TrimSpace(bad))
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	cov, err := parseProfiles(strings.NewReader(sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		floors   []floorEntry
+		wantFail int
+	}{
+		{"all-above", []floorEntry{{"dragster/internal/core", 75}}, 0},
+		{"one-below", []floorEntry{{"dragster/internal/telemetry", 60}}, 1},
+		{"missing-package-fails", []floorEntry{{"dragster/internal/chaos", 10}}, 1},
+		{"mixed", []floorEntry{
+			{"dragster/internal/core", 75},
+			{"dragster/internal/telemetry", 60},
+			{"dragster/internal/chaos", 10},
+		}, 2},
+		{"ungated-packages-only-report", nil, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			failed := gate(&buf, cov, tc.floors)
+			if len(failed) != tc.wantFail {
+				t.Fatalf("got %d failures %v, want %d", len(failed), failed, tc.wantFail)
+			}
+			if !strings.Contains(buf.String(), "dragster/internal/core") {
+				t.Error("report omits a covered package")
+			}
+		})
+	}
+}

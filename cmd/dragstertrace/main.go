@@ -1,0 +1,406 @@
+// Command dragstertrace records, summarizes, converts, and diffs
+// sim-time observability traces (see internal/telemetry).
+//
+// Usage:
+//
+//	dragstertrace record -out trace.jsonl [-workload wordcount] [-chaos node-flap]
+//	                     [-slots 20] [-slotsec 60] [-seed 1] [-budget 0]
+//	dragstertrace summarize trace.jsonl
+//	dragstertrace diff a.jsonl b.jsonl
+//	dragstertrace chrome -out trace.json trace.jsonl
+//
+// record runs one scenario with a tracer installed and writes the JSONL
+// trace; the same (workload, chaos, slots, slotsec, seed) flags always
+// produce a byte-identical file. summarize prints the time-in-phase
+// table, the per-round regret timeline, and the metrics snapshot. diff
+// compares two traces phase by phase and round by round — e.g. a chaos
+// run against its fault-free twin. chrome converts a JSONL trace to the
+// Chrome trace_event format (load via chrome://tracing or Perfetto).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dragster/internal/chaos"
+	"dragster/internal/experiment"
+	"dragster/internal/telemetry"
+	"dragster/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "summarize":
+		err = cmdSummarize(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "chrome":
+		err = cmdChrome(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dragstertrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  dragstertrace record -out trace.jsonl [-workload wordcount] [-chaos name]
+                       [-slots 20] [-slotsec 60] [-seed 1] [-budget 0]
+  dragstertrace summarize trace.jsonl
+  dragstertrace diff a.jsonl b.jsonl
+  dragstertrace chrome -out trace.json trace.jsonl
+
+chaos scenarios:`, chaos.Names())
+}
+
+// cmdRecord runs one scenario with a tracer installed and writes the
+// JSONL trace to -out ("-" = stdout).
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		out      = fs.String("out", "-", "output JSONL path (- = stdout)")
+		wlName   = fs.String("workload", "wordcount", "workload spec name")
+		chaosSc  = fs.String("chaos", "", "named chaos scenario (empty = fault-free)")
+		slots    = fs.Int("slots", 20, "decision slots to run")
+		slotSec  = fs.Int("slotsec", 60, "slot length in simulated seconds")
+		seed     = fs.Int64("seed", 1, "random seed")
+		budget   = fs.Int("budget", 0, "task budget (0 = unbounded)")
+		policyFl = fs.String("policy", "saddle", "policy: saddle|ogd|dhalion|ds2")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := record(*wlName, *chaosSc, *slots, *slotSec, *seed, *budget, *policyFl)
+	if err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return tr.WriteJSONL(w)
+}
+
+// record builds and runs the scenario, returning the populated tracer.
+func record(wlName, chaosName string, slots, slotSec int, seed int64, budget int, policy string) (*telemetry.Tracer, error) {
+	spec, err := workload.ByName(wlName)
+	if err != nil {
+		return nil, err
+	}
+	rates, err := workload.Constant(spec.HighRates)
+	if err != nil {
+		return nil, err
+	}
+	var chaosSpec *chaos.Spec
+	if chaosName != "" {
+		chaosSpec, err = chaos.ByName(chaosName)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var factory experiment.PolicyFactory
+	switch policy {
+	case "saddle":
+		factory = experiment.DragsterSaddle()
+	case "ogd":
+		factory = experiment.DragsterOGD()
+	case "dhalion":
+		factory = experiment.DhalionPolicy()
+	case "ds2":
+		factory = experiment.DS2Policy()
+	default:
+		return nil, fmt.Errorf("unknown policy %q", policy)
+	}
+	tr := telemetry.NewTracer()
+	tr.SetMetrics(telemetry.NewRegistry())
+	_, err = experiment.Run(experiment.Scenario{
+		Spec:        spec,
+		Rates:       rates,
+		Slots:       slots,
+		SlotSeconds: slotSec,
+		Seed:        seed,
+		TaskBudget:  budget,
+		Chaos:       chaosSpec,
+		Tracer:      tr,
+	}, factory)
+	if err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+func readTrace(path string) (*telemetry.TraceFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return telemetry.ReadJSONL(f)
+}
+
+// cmdSummarize prints the time-in-phase table, the per-round regret
+// timeline, and the metrics snapshot of one trace.
+func cmdSummarize(args []string) error {
+	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("summarize needs exactly one trace file, got %d", fs.NArg())
+	}
+	tf, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	fmt.Fprintf(w, "trace: %d spans, %d metrics\n\n", len(tf.Spans), len(tf.Metrics))
+
+	fmt.Fprintln(w, "time in phase (sim seconds):")
+	fmt.Fprintf(w, "  %-12s %-16s %8s %10s\n", "cat", "name", "count", "seconds")
+	for _, row := range telemetry.TimeInPhase(tf.Spans) {
+		fmt.Fprintf(w, "  %-12s %-16s %8d %10d\n", row.Cat, row.Name, row.Count, row.Seconds)
+	}
+
+	rounds := roundTimeline(tf.Spans)
+	if len(rounds) > 0 {
+		fmt.Fprintln(w, "\nper-round regret timeline:")
+		fmt.Fprintf(w, "  %4s %12s %12s %12s  %s\n", "slot", "steady", "optimal", "regret", "tasks")
+		for _, r := range rounds {
+			fmt.Fprintf(w, "  %4d %12s %12s %12s  %s\n", r.slot, r.steady, r.optimal, r.regret, r.tasks)
+		}
+	}
+
+	if len(tf.Metrics) > 0 {
+		fmt.Fprintln(w, "\nmetrics:")
+		for _, m := range tf.Metrics {
+			switch m.Kind {
+			case "histogram":
+				fmt.Fprintf(w, "  %-32s count=%d sum=%g buckets=%v bounds=%v\n",
+					m.Name, m.Count, m.Sum, m.Buckets, m.Bounds)
+			default:
+				fmt.Fprintf(w, "  %-32s %g\n", m.Name, m.Value)
+			}
+		}
+	}
+	return nil
+}
+
+// roundRow is one "experiment/round" span flattened for display.
+type roundRow struct {
+	slot                           int
+	steady, optimal, regret, tasks string
+	outcome                        string
+}
+
+func roundTimeline(spans []telemetry.SpanRecord) []roundRow {
+	var out []roundRow
+	for _, sp := range spans {
+		if sp.Cat != "experiment" || sp.Name != "round" {
+			continue
+		}
+		r := roundRow{slot: sp.Slot}
+		r.steady, _ = sp.AttrValue("steady")
+		r.optimal, _ = sp.AttrValue("optimal")
+		r.regret, _ = sp.AttrValue("regret")
+		r.tasks, _ = sp.AttrValue("tasks")
+		r.outcome, _ = sp.AttrValue("outcome")
+		out = append(out, r)
+	}
+	return out
+}
+
+// cmdDiff compares two traces: span-volume and time-in-phase per (cat,
+// name), the per-round regret timelines, and the metric snapshots.
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff needs exactly two trace files, got %d", fs.NArg())
+	}
+	a, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := readTrace(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	fmt.Fprintf(w, "A: %s (%d spans)\nB: %s (%d spans)\n\n",
+		fs.Arg(0), len(a.Spans), fs.Arg(1), len(b.Spans))
+
+	diffPhases(w, a.Spans, b.Spans)
+	diffRounds(w, a.Spans, b.Spans)
+	diffMetrics(w, a.Metrics, b.Metrics)
+	return nil
+}
+
+func diffPhases(w io.Writer, a, b []telemetry.SpanRecord) {
+	pa, pb := telemetry.TimeInPhase(a), telemetry.TimeInPhase(b)
+	type key struct{ cat, name string }
+	rows := make(map[key][2]telemetry.PhaseDuration)
+	var order []key
+	for _, r := range pa {
+		k := key{r.Cat, r.Name}
+		rows[k] = [2]telemetry.PhaseDuration{r, {}}
+		order = append(order, k)
+	}
+	for _, r := range pb {
+		k := key{r.Cat, r.Name}
+		if cur, ok := rows[k]; ok {
+			cur[1] = r
+			rows[k] = cur
+		} else {
+			rows[k] = [2]telemetry.PhaseDuration{{}, r}
+			order = append(order, k)
+		}
+	}
+	fmt.Fprintln(w, "phase           countA countB  secondsA secondsB    Δsec")
+	for _, k := range order {
+		pair := rows[k]
+		dSec := pair[1].Seconds - pair[0].Seconds
+		marker := " "
+		if pair[0].Count != pair[1].Count || dSec != 0 {
+			marker = "*"
+		}
+		fmt.Fprintf(w, "%s %-12s %6d %6d  %8d %8d %+7d\n",
+			marker, k.cat+"/"+k.name, pair[0].Count, pair[1].Count,
+			pair[0].Seconds, pair[1].Seconds, dSec)
+	}
+}
+
+func diffRounds(w io.Writer, a, b []telemetry.SpanRecord) {
+	ra, rb := roundTimeline(a), roundTimeline(b)
+	n := len(ra)
+	if len(rb) > n {
+		n = len(rb)
+	}
+	if n == 0 {
+		return
+	}
+	fmt.Fprintln(w, "\nper-round regret (A vs B):")
+	fmt.Fprintf(w, "  %4s %12s %12s  %-12s %-12s\n", "slot", "regretA", "regretB", "tasksA", "tasksB")
+	for i := 0; i < n; i++ {
+		var av, bv roundRow
+		if i < len(ra) {
+			av = ra[i]
+		}
+		if i < len(rb) {
+			bv = rb[i]
+		}
+		marker := " "
+		if av.regret != bv.regret || av.tasks != bv.tasks {
+			marker = "*"
+		}
+		slot := av.slot
+		if i >= len(ra) {
+			slot = bv.slot
+		}
+		fmt.Fprintf(w, "%s %4d %12s %12s  %-12s %-12s\n",
+			marker, slot, orDash(av.regret), orDash(bv.regret), orDash(av.tasks), orDash(bv.tasks))
+	}
+}
+
+func diffMetrics(w io.Writer, a, b []telemetry.MetricRecord) {
+	type key struct{ kind, name string }
+	rows := make(map[key][2]*telemetry.MetricRecord)
+	var order []key
+	for i := range a {
+		k := key{a[i].Kind, a[i].Name}
+		rows[k] = [2]*telemetry.MetricRecord{&a[i], nil}
+		order = append(order, k)
+	}
+	for i := range b {
+		k := key{b[i].Kind, b[i].Name}
+		if cur, ok := rows[k]; ok {
+			cur[1] = &b[i]
+			rows[k] = cur
+		} else {
+			rows[k] = [2]*telemetry.MetricRecord{nil, &b[i]}
+			order = append(order, k)
+		}
+	}
+	if len(order) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "\nmetrics (A vs B):")
+	for _, k := range order {
+		pair := rows[k]
+		va, vb := "-", "-"
+		same := false
+		if pair[0] != nil {
+			va = metricValue(pair[0])
+		}
+		if pair[1] != nil {
+			vb = metricValue(pair[1])
+		}
+		same = va == vb
+		marker := "*"
+		if same {
+			marker = " "
+		}
+		fmt.Fprintf(w, "%s %-32s %-16s %-16s\n", marker, k.name, va, vb)
+	}
+}
+
+func metricValue(m *telemetry.MetricRecord) string {
+	if m.Kind == "histogram" {
+		return fmt.Sprintf("n=%d sum=%g", m.Count, m.Sum)
+	}
+	return fmt.Sprintf("%g", m.Value)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// cmdChrome converts a JSONL trace to the Chrome trace_event format.
+func cmdChrome(args []string) error {
+	fs := flag.NewFlagSet("chrome", flag.ExitOnError)
+	out := fs.String("out", "-", "output path (- = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("chrome needs exactly one trace file, got %d", fs.NArg())
+	}
+	tf, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return telemetry.WriteChromeTrace(w, tf.Spans)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+
+	"dragster"
+	"dragster/internal/experiment"
+)
+
+// TestQuickstartSmoke runs a scaled-down version of what main() does —
+// the WordCount convergence demo for both the Dragster saddle policy and
+// the Dhalion baseline — so the example cannot rot away from the public
+// API.
+func TestQuickstartSmoke(t *testing.T) {
+	spec, err := dragster.WordCountWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := dragster.ConstantRates(spec.HighRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := dragster.Scenario{
+		Spec:        spec,
+		Rates:       rates,
+		Slots:       8,
+		SlotSeconds: 60,
+		Seed:        1,
+	}
+	res, err := dragster.RunScenario(sc, dragster.DragsterSaddlePolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 8 {
+		t.Fatalf("got %d trace slots, want 8", len(res.Trace))
+	}
+	opt := res.OptimaByPhase[0]
+	if opt == nil || opt.Throughput <= 0 {
+		t.Fatalf("missing or degenerate phase-0 optimum: %+v", opt)
+	}
+	for _, tr := range res.Trace {
+		if tr.SteadyThroughput < 0 || tr.SteadyThroughput > opt.Throughput*1.001 {
+			t.Fatalf("slot %d: steady throughput %v outside [0, optimum %v]",
+				tr.Slot, tr.SteadyThroughput, opt.Throughput)
+		}
+	}
+	if _, err := experiment.ConvergenceMinutes(res); err != nil {
+		t.Fatal(err)
+	}
+
+	dh, err := dragster.RunScenario(sc, dragster.DhalionPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dh.Trace) != 8 {
+		t.Fatalf("Dhalion: got %d trace slots, want 8", len(dh.Trace))
+	}
+}

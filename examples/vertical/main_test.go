@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"dragster"
+	"dragster/internal/experiment"
+)
+
+// TestVerticalSmoke runs a scaled-down version of what main() does — the
+// resource-aware WordCount under the tasks-only and the tasks×CPU
+// searches — so the example cannot rot away from the vertical-scaling
+// API.
+func TestVerticalSmoke(t *testing.T) {
+	spec, err := dragster.WordCount2DWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := dragster.ConstantRates(spec.LowRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vertical := range []bool{false, true} {
+		res, err := dragster.RunScenario(dragster.Scenario{
+			Spec:            spec,
+			Rates:           rates,
+			Slots:           8,
+			SlotSeconds:     60,
+			Seed:            4,
+			VerticalScaling: vertical,
+		}, dragster.DragsterSaddlePolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Trace) != 8 {
+			t.Fatalf("vertical=%v: got %d trace slots, want 8", vertical, len(res.Trace))
+		}
+		final := res.Trace[len(res.Trace)-1]
+		if len(final.Tasks) == 0 || len(final.CPUMilli) == 0 {
+			t.Fatalf("vertical=%v: final slot missing tasks/CPU: %+v", vertical, final)
+		}
+		if got := experiment.TotalProcessed(res); got <= 0 {
+			t.Errorf("vertical=%v: total processed = %v, want > 0", vertical, got)
+		}
+		if got := experiment.CostPerBillion(res); got <= 0 {
+			t.Errorf("vertical=%v: cost per billion = %v, want > 0", vertical, got)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"dragster/internal/experiment"
+)
+
+// TestWordCountSmoke runs a scaled-down version of what main() does — the
+// Fig. 4 search-trajectory experiment, unbudgeted and budgeted, rendered
+// to a discarded writer — so the example cannot rot away from the
+// experiment API.
+func TestWordCountSmoke(t *testing.T) {
+	for _, budget := range []int{0, 13} {
+		r, err := experiment.Fig4(budget, 8, 60, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Optimum == nil || r.Optimum.Throughput <= 0 {
+			t.Fatalf("budget %d: missing or degenerate optimum", budget)
+		}
+		if len(r.Heatmap) == 0 {
+			t.Fatalf("budget %d: empty throughput landscape", budget)
+		}
+		if len(r.Paths) == 0 {
+			t.Fatalf("budget %d: no policy trajectories", budget)
+		}
+		for name, path := range r.Paths {
+			if len(path) == 0 {
+				t.Fatalf("budget %d: policy %s has an empty trajectory", budget, name)
+			}
+		}
+		experiment.RenderFig4(io.Discard, r)
+	}
+}

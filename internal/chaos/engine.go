@@ -77,8 +77,15 @@ type Engine struct {
 	healSeq  int
 	lastGood *telemetry.SlotReport // last pre-window report, for stale replays
 
-	trace []TraceEntry
+	trace  []TraceEntry
+	tracer *telemetry.Tracer
 }
+
+// SetTracer installs (or, with nil, removes) the observability tracer.
+// Every fault-trace entry is mirrored as a "chaos" span event named after
+// the fault kind, so run traces interleave fault delivery with the
+// optimizer and substrate spans it perturbs.
+func (e *Engine) SetTracer(tr *telemetry.Tracer) { e.tracer = tr }
 
 // NewEngine validates the spec and returns an engine seeded with the
 // given seed. counters may be nil, in which case the engine keeps a
@@ -156,6 +163,10 @@ func (e *Engine) record(kind Kind, detail string) {
 		Kind:   kind,
 		Detail: detail,
 	})
+	e.tracer.Event("chaos", kind.String(),
+		telemetry.Int("slot", e.currentSlot),
+		telemetry.Str("detail", detail))
+	e.tracer.Metrics().Inc("chaos_trace_entries")
 }
 
 func (e *Engine) skip(kind Kind, why string) {

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"dragster/internal/telemetry"
 )
 
 // ResourceSpec is a pod resource request.
@@ -115,10 +117,17 @@ type Cluster struct {
 	pricePerCPU float64 // dollars per core·hour
 	cost        float64 // accrued dollars
 	injector    Injector
+	tracer      *telemetry.Tracer
 }
 
 // SetInjector installs (or, with nil, removes) the fault-injection hook.
 func (c *Cluster) SetInjector(in Injector) { c.injector = in }
+
+// SetTracer installs (or, with nil, removes) the observability tracer.
+// The cluster emits one "place" event per pod placement — the scheduler
+// decisions that determine effective parallelism. All tracer methods are
+// no-ops on a nil tracer, so untraced runs execute the pre-hook path.
+func (c *Cluster) SetTracer(tr *telemetry.Tracer) { c.tracer = tr }
 
 // Option configures a Cluster.
 type Option func(*Cluster)
@@ -359,6 +368,11 @@ func (c *Cluster) schedule() {
 		p.NodeName = best.name
 		p.Phase = PodRunning
 		p.StartedAt = c.clock
+		c.tracer.Event("cluster", "place",
+			telemetry.Str("pod", p.Name),
+			telemetry.Str("node", best.name),
+			telemetry.Int("cpu_milli", p.Spec.CPUMilli))
+		c.tracer.Metrics().Inc("cluster_pods_placed")
 	}
 }
 

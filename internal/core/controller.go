@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 
 	"dragster/internal/dag"
 	"dragster/internal/gp"
@@ -125,6 +126,21 @@ type Controller struct {
 	seenSnap     bool
 	lastSnapSlot int
 	staleSkips   int
+
+	// tracer is the nil-safe observability hook; see internal/telemetry.
+	tracer *telemetry.Tracer
+}
+
+// SetTracer installs (or, with nil, removes) the observability tracer,
+// propagating it to every per-operator searcher (labelled by operator
+// name). Each DecideConfigs pass becomes one "decide" span with child
+// spans for the level-1 step and the budget projection; GP observe/refit
+// and UCB select events nest inside it automatically.
+func (c *Controller) SetTracer(tr *telemetry.Tracer) {
+	c.tracer = tr
+	for i, s := range c.searchers {
+		s.SetTracer(tr, c.g.OperatorName(i))
+	}
 }
 
 // New validates cfg and builds the controller, warm-starting from the
@@ -379,11 +395,15 @@ func (c *Controller) DecideConfigs(snap *monitor.Snapshot) ([][]float64, *LastTa
 	if len(snap.SourceRates) != c.g.NumSources() {
 		return nil, nil, fmt.Errorf("core: snapshot has %d source rates, want %d", len(snap.SourceRates), c.g.NumSources())
 	}
+	sp := c.tracer.Begin("core", "decide", telemetry.Int("snap_slot", snap.Slot))
+	defer sp.End()
 	if c.seenSnap && snap.Slot <= c.lastSnapSlot {
 		// Stale metrics: this slot was already decided. Skip the round —
 		// observing the same noisy samples twice would bias the GPs and
 		// double-count dual violations — and hold the current configuration.
 		c.staleSkips++
+		sp.Annotate(telemetry.Str("outcome", "stale_skip"))
+		c.tracer.Metrics().Inc("core_stale_skips")
 		if c.cfg.Counters != nil {
 			c.cfg.Counters.Inc("core_stale_snapshot_skips")
 		}
@@ -472,7 +492,9 @@ func (c *Controller) DecideConfigs(snap *monitor.Snapshot) ([][]float64, *LastTa
 	for i := range viol {
 		viol[i] = rep.Demand[i] - capObs[i]
 	}
+	ospSpan := c.tracer.Begin("osp", "step", telemetry.Str("method", c.cfg.Method.String()))
 	if err := c.level1.ObserveViolations(viol); err != nil {
+		ospSpan.End()
 		return nil, nil, err
 	}
 
@@ -485,8 +507,12 @@ func (c *Controller) DecideConfigs(snap *monitor.Snapshot) ([][]float64, *LastTa
 	}
 	y, err := c.level1.Step(targetRates)
 	if err != nil {
+		ospSpan.End()
 		return nil, nil, err
 	}
+	ospSpan.Annotate(telemetry.Str("y", fmtFloats(y)))
+	ospSpan.End()
+	c.tracer.Metrics().Inc("osp_steps")
 
 	// (4) Bottlenecks: operators whose current estimated capacity deviates
 	// from the target. The estimate prefers the GP posterior at the current
@@ -504,6 +530,7 @@ func (c *Controller) DecideConfigs(snap *monitor.Snapshot) ([][]float64, *LastTa
 	if err != nil {
 		return nil, nil, err
 	}
+	c.tracer.Event("core", "bottlenecks", telemetry.Int("count", len(bottlenecks)))
 
 	// (5) Level 2: extended GP-UCB per bottleneck operator.
 	chosen := make([][]float64, m)
@@ -528,6 +555,7 @@ func (c *Controller) DecideConfigs(snap *monitor.Snapshot) ([][]float64, *LastTa
 	// throughput at the GP posterior means — the "balance the capacity
 	// among Map and Shuffle" behaviour of §6.2 that Dhalion lacks.
 	if c.cfg.TaskBudget > 0 {
+		projSpan := c.tracer.Begin("core", "project", telemetry.Int("budget", c.cfg.TaskBudget))
 		desired := make([]int, m)
 		for i, v := range chosen {
 			desired[i] = int(math.Round(v[0]))
@@ -535,14 +563,33 @@ func (c *Controller) DecideConfigs(snap *monitor.Snapshot) ([][]float64, *LastTa
 		loss := func(op, from int) float64 { return c.taskLoss(op, from, y[op]) }
 		desired, err = ucb.ProjectTasks(desired, c.cfg.TaskBudget, 1, loss)
 		if err != nil {
+			projSpan.End()
 			return nil, nil, err
 		}
 		desired = c.rebalanceUnderBudget(desired, targetRates)
 		for i, n := range desired {
 			chosen[i] = c.nearestWithTasks(i, n, chosen[i])
 		}
+		projSpan.Annotate(telemetry.Str("tasks", fmt.Sprint(desired)))
+		projSpan.End()
 	}
+	c.tracer.Metrics().Inc("core_decides")
 	return chosen, diag, nil
+}
+
+// fmtFloats renders a float slice with the canonical shortest formatting
+// used by telemetry attributes.
+func fmtFloats(vs []float64) string {
+	var b []byte
+	b = append(b, '[')
+	for i, v := range vs {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	}
+	b = append(b, ']')
+	return string(b)
 }
 
 // rebalanceUnderBudget hill-climbs single-task moves between operators

@@ -82,6 +82,12 @@ type Scenario struct {
 	// Counters receives fault/retry/skip telemetry from the chaos engine,
 	// the rescale retrier, and the controller (default: a fresh registry).
 	Counters *telemetry.Counters
+	// Tracer, when set, records a sim-time span trace of the run: one
+	// "round" span per decision slot with the optimizer, substrate, and
+	// chaos events nested inside, all stamped with the cluster clock.
+	// Nil (the default) leaves every emission point a no-op, and a traced
+	// run is bit-identical to an untraced one apart from the trace itself.
+	Tracer *telemetry.Tracer
 }
 
 func (sc *Scenario) setDefaults() error {
@@ -385,6 +391,10 @@ func NewRunner(sc Scenario, factory PolicyFactory) (*Runner, error) {
 	if err := k8s.AddNodes("node", nNodes, cluster.ResourceSpec{CPUMilli: 4000, MemoryMB: 8192}); err != nil {
 		return nil, err
 	}
+	// Spans are stamped with the simulation clock, never wall time, so a
+	// fixed seed reproduces the trace byte for byte.
+	sc.Tracer.SetClock(k8s.Clock)
+	k8s.SetTracer(sc.Tracer)
 	rng := stats.NewRNG(sc.Seed)
 	peak := peakRate(sc.Rates, sc.Slots)
 	var maxBuf float64
@@ -427,12 +437,22 @@ func NewRunner(sc Scenario, factory PolicyFactory) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	mon.SetTracer(sc.Tracer)
+	// Rescale/run-slot spans exist on the Flink substrate only; Storm
+	// topologies are traced at the cluster and monitor layers.
+	if fj, ok := job.(*flink.Job); ok {
+		fj.SetTracer(sc.Tracer)
+	}
+	if dc, ok := policy.(*core.Controller); ok {
+		dc.SetTracer(sc.Tracer)
+	}
 	var chaosEng *chaos.Engine
 	if sc.Chaos != nil {
 		chaosEng, err = chaos.NewEngine(sc.Chaos, sc.ChaosSeed, sc.Counters)
 		if err != nil {
 			return nil, err
 		}
+		chaosEng.SetTracer(sc.Tracer)
 		// The Flink rescale hooks only exist on flink.Job; Storm topologies
 		// get cluster- and monitor-level faults only.
 		fj, _ := job.(*flink.Job)
@@ -515,6 +535,9 @@ func (r *Runner) Step() (*SlotTrace, error) {
 	m := g.NumOperators()
 	slot := r.slot
 
+	sc.Tracer.SetSlot(slot)
+	round := sc.Tracer.Begin("experiment", "round", telemetry.Int("slot", slot))
+	defer round.End()
 	r.applyChaos(slot)
 	rates := sc.Rates(slot, 0)
 	rep, err := r.job.RunSlot(sc.SlotSeconds, func(sec int) []float64 {
@@ -564,6 +587,7 @@ func (r *Runner) Step() (*SlotTrace, error) {
 		Violations:         viol,
 	}
 
+	r.annotateRound(round, &tr)
 	snap, err := r.mon.Collect()
 	if err != nil {
 		if errors.Is(err, monitor.ErrNoSample) {
@@ -573,6 +597,8 @@ func (r *Runner) Step() (*SlotTrace, error) {
 			r.skipped++
 			r.res.SkippedRounds = r.skipped
 			r.sc.Counters.Inc("runner_skipped_rounds")
+			round.Annotate(telemetry.Str("outcome", "skipped"))
+			sc.Tracer.Metrics().Inc("experiment_rounds_skipped")
 			r.res.Trace = append(r.res.Trace, tr)
 			r.slot++
 			return &r.res.Trace[len(r.res.Trace)-1], nil
@@ -608,7 +634,30 @@ func (r *Runner) Step() (*SlotTrace, error) {
 			return nil, err
 		}
 	}
+	sc.Tracer.Metrics().Inc("experiment_rounds")
 	return &r.res.Trace[len(r.res.Trace)-1], nil
+}
+
+// annotateRound attaches the slot's outcome metrics — including the
+// per-round regret against the current phase's precomputed optimum — to
+// the round span.
+func (r *Runner) annotateRound(round *telemetry.Span, tr *SlotTrace) {
+	var opt float64
+	for _, ps := range r.res.PhaseStarts {
+		if ps > tr.Slot {
+			break
+		}
+		if o := r.res.OptimaByPhase[ps]; o != nil {
+			opt = o.Throughput
+		}
+	}
+	round.Annotate(
+		telemetry.Str("tasks", fmt.Sprint(tr.Tasks)),
+		telemetry.Float("steady", tr.SteadyThroughput),
+		telemetry.Float("measured", tr.MeasuredThroughput),
+		telemetry.Float("optimal", opt),
+		telemetry.Float("regret", opt-tr.SteadyThroughput),
+		telemetry.Float("cost", tr.CostCum))
 }
 
 // Run executes the scenario under the policy built by factory.

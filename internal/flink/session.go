@@ -100,11 +100,17 @@ type Job struct {
 	slot       int
 	lastReport *SlotReport
 	hooks      ChaosHooks
+	tracer     *telemetry.Tracer
 }
 
 // SetChaosHooks installs (or, with nil, removes) the fault-injection
 // hooks consulted by Rescale/RescaleResources.
 func (j *Job) SetChaosHooks(h ChaosHooks) { j.hooks = h }
+
+// SetTracer installs (or, with nil, removes) the observability tracer.
+// The job emits one "rescale" span per applied savepoint rescale (with
+// pause cost and abort cause) and one "run_slot" span per executed slot.
+func (j *Job) SetTracer(tr *telemetry.Tracer) { j.tracer = tr }
 
 // SubmitJob deploys a job: one TaskManager deployment per operator with
 // the initial parallelism, wired to the supplied simulation engine. A
@@ -210,11 +216,21 @@ func (j *Job) RescaleResources(parallelism []int, cpuMilli []int) error {
 	if !changed {
 		return nil
 	}
+	sp := j.tracer.Begin("flink", "rescale",
+		telemetry.Str("job", j.name),
+		telemetry.Int("slot", j.slot),
+		telemetry.Str("tasks", fmt.Sprint(parallelism)))
+	defer sp.End()
+	if cpuMilli != nil {
+		sp.Annotate(telemetry.Str("cpu_milli", fmt.Sprint(cpuMilli)))
+	}
 	if j.hooks != nil {
 		if err := j.hooks.InterceptRescale(j.name, j.slot); err != nil {
 			// Savepoint failure / rescale timeout: the job keeps running on
 			// its previous configuration and the caller decides whether (and
 			// when) to retry.
+			sp.Annotate(telemetry.Str("aborted", err.Error()))
+			j.tracer.Metrics().Inc("flink_rescales_aborted")
 			return fmt.Errorf("flink: rescale of %s aborted: %w", j.name, err)
 		}
 	}
@@ -245,6 +261,12 @@ func (j *Job) RescaleResources(parallelism []int, cpuMilli []int) error {
 		}
 	}
 	j.engine.Pause(pause)
+	sp.Annotate(telemetry.Int("pause_sec", pause))
+	reg := j.tracer.Metrics()
+	reg.Inc("flink_rescales_applied")
+	if err := reg.DefineHistogram("flink_rescale_pause_sec", []float64{30, 60, 120, 300}); err == nil {
+		reg.Observe("flink_rescale_pause_sec", float64(pause))
+	}
 	return nil
 }
 
@@ -285,6 +307,11 @@ func (j *Job) RunSlot(seconds int, rateAt func(sec int) []float64) (*SlotReport,
 	if err := j.syncEngineTasks(); err != nil {
 		return nil, err
 	}
+	sp := j.tracer.Begin("flink", "run_slot",
+		telemetry.Str("job", j.name),
+		telemetry.Int("slot", j.slot),
+		telemetry.Int("seconds", seconds))
+	defer sp.End()
 	j.engine.BeginSlot()
 	acc, err := telemetry.NewSlotAccumulator(j.name, j.slot, j.graph.NumOperators(), j.graph.NumSources(), seconds)
 	if err != nil {
@@ -314,6 +341,11 @@ func (j *Job) RunSlot(seconds int, rateAt func(sec int) []float64) (*SlotReport,
 	if err != nil {
 		return nil, err
 	}
+	sp.Annotate(
+		telemetry.Float("throughput", rep.Throughput),
+		telemetry.Float("dropped", rep.DroppedTuples),
+		telemetry.Int("paused_sec", rep.PausedSeconds))
+	j.tracer.Metrics().Inc("flink_slots_run")
 	j.slot++
 	j.lastReport = rep
 	return rep, nil

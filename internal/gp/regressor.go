@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"dragster/internal/linalg"
+	"dragster/internal/telemetry"
 )
 
 // ErrEmpty is returned when a posterior is requested before any
@@ -59,6 +60,10 @@ type Regressor struct {
 	// accumulated information gain ½ Σ log(1 + σ⁻²·σ²_{t−1}(x_t)),
 	// the empirical counterpart of Γ_T in Theorem 1.
 	infoGain float64
+
+	// observability hooks; nil-safe, see internal/telemetry.
+	tracer *telemetry.Tracer
+	label  string
 }
 
 // NewRegressor returns a Regressor with the given kernel and observation
@@ -71,6 +76,18 @@ func NewRegressor(kernel Kernel, noiseVar float64) (*Regressor, error) {
 		return nil, fmt.Errorf("gp: noise variance must be positive, got %v", noiseVar)
 	}
 	return &Regressor{kernel: kernel, noiseVar: noiseVar, dirty: true}, nil
+}
+
+// SetTracer installs (or, with nil, removes) the observability tracer.
+// label identifies this regressor in span attributes (typically the
+// operator name). The regressor emits one "observe" event per sample and
+// one "refit" span per from-scratch refactorization; the incremental
+// Observe extension is deliberately untraced (it is the steady-state
+// O(n²) fast path). Tracer calls happen only on the caller's goroutine —
+// the parallel hyperparameter search never touches it.
+func (r *Regressor) SetTracer(tr *telemetry.Tracer, label string) {
+	r.tracer = tr
+	r.label = label
 }
 
 // Kernel returns the kernel in use.
@@ -133,6 +150,11 @@ func (r *Regressor) Observe(x []float64, y float64) error {
 	r.xs = append(r.xs, append([]float64(nil), x...))
 	r.ys = append(r.ys, y)
 	r.ySum += y
+	r.tracer.Event("gp", "observe",
+		telemetry.Str("op", r.label),
+		telemetry.Int("n", n+1),
+		telemetry.Float("y", y))
+	r.tracer.Metrics().Inc("gp_observations")
 	if n == 0 || r.dirty || r.chol == nil {
 		// No current factor to extend (first point, kernel swap pending, or
 		// an earlier fit failed); refit lazily on the next query.
@@ -197,8 +219,14 @@ func fitSystem(xs [][]float64, ys []float64, ySum float64, kernel Kernel, noiseV
 }
 
 func (r *Regressor) refit() error {
+	sp := r.tracer.Begin("gp", "refit",
+		telemetry.Str("op", r.label),
+		telemetry.Int("n", len(r.ys)))
+	defer sp.End()
+	r.tracer.Metrics().Inc("gp_refits")
 	mean, chol, alpha, err := fitSystem(r.xs, r.ys, r.ySum, r.kernel, r.noiseVar)
 	if err != nil {
+		sp.Annotate(telemetry.Str("error", err.Error()))
 		return err
 	}
 	r.mean, r.chol, r.alpha = mean, chol, alpha

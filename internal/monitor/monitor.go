@@ -156,6 +156,7 @@ type Monitor struct {
 	cfg Config
 
 	interceptor Interceptor
+	tracer      *telemetry.Tracer
 	collected   bool
 	lastSlot    int
 }
@@ -175,6 +176,11 @@ func New(src Source, cfg Config) (*Monitor, error) {
 // SetInterceptor installs (or, with nil, removes) the fetch interceptor.
 func (m *Monitor) SetInterceptor(ic Interceptor) { m.interceptor = ic }
 
+// SetTracer installs (or, with nil, removes) the observability tracer.
+// Each Collect emits one "collect" event recording its outcome: "fresh",
+// "stale", or "error" (fetch or interceptor failure).
+func (m *Monitor) SetTracer(tr *telemetry.Tracer) { m.tracer = tr }
+
 // Collect fetches the latest slot report and derives operator metrics.
 // A report whose slot does not advance past the last collected one is a
 // stale repeat — the job produced no new data since the previous Collect —
@@ -183,18 +189,28 @@ func (m *Monitor) SetInterceptor(ic Interceptor) { m.interceptor = ic }
 func (m *Monitor) Collect() (*Snapshot, error) {
 	rep, err := m.src.Fetch()
 	if err != nil {
+		m.tracer.Event("monitor", "collect", telemetry.Str("outcome", "error"))
+		m.tracer.Metrics().Inc("monitor_collect_errors")
 		return nil, err
 	}
 	if m.interceptor != nil {
 		rep, err = m.interceptor.InterceptReport(rep)
 		if err != nil {
+			m.tracer.Event("monitor", "collect", telemetry.Str("outcome", "error"))
+			m.tracer.Metrics().Inc("monitor_collect_errors")
 			return nil, err
 		}
 		if rep == nil {
+			m.tracer.Event("monitor", "collect", telemetry.Str("outcome", "error"))
+			m.tracer.Metrics().Inc("monitor_collect_errors")
 			return nil, fmt.Errorf("monitor: interceptor returned nil report: %w", ErrNoSample)
 		}
 	}
 	if m.collected && rep.Slot <= m.lastSlot {
+		m.tracer.Event("monitor", "collect",
+			telemetry.Str("outcome", "stale"),
+			telemetry.Int("slot", rep.Slot))
+		m.tracer.Metrics().Inc("monitor_collect_stale")
 		return nil, fmt.Errorf("monitor: slot %d already collected, report is stale: %w", rep.Slot, ErrNoSample)
 	}
 	m.collected = true
@@ -231,5 +247,10 @@ func (m *Monitor) Collect() (*Snapshot, error) {
 			(v.InRate > 0 && v.Backlog > m.cfg.BacklogSeconds*v.InRate)
 		snap.Operators[i] = om
 	}
+	m.tracer.Event("monitor", "collect",
+		telemetry.Str("outcome", "fresh"),
+		telemetry.Int("slot", snap.Slot),
+		telemetry.Float("throughput", snap.Throughput))
+	m.tracer.Metrics().Inc("monitor_collect_fresh")
 	return snap, nil
 }

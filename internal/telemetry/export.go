@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The JSONL trace format: one JSON object per line, spans first (in span
+// ID order, which is start order), then the metrics snapshot sorted by
+// (kind, name). Field order inside each object is fixed by the struct
+// definitions and encoding/json, so a seeded run exports byte-identical
+// bytes on every replay — the golden-trace determinism contract.
+
+type jsonlLine struct {
+	Type   string        `json:"type"` // "span" | "metric"
+	Span   *SpanRecord   `json:"span,omitempty"`
+	Metric *MetricRecord `json:"metric,omitempty"`
+}
+
+// TraceFile is a parsed JSONL trace.
+type TraceFile struct {
+	Spans   []SpanRecord
+	Metrics []MetricRecord
+}
+
+// WriteJSONL exports the tracer's spans and, when a registry is attached,
+// its metrics snapshot. Safe on a nil tracer (writes nothing).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	return writeJSONL(w, t.Spans(), t.Metrics().Snapshot())
+}
+
+func writeJSONL(w io.Writer, spans []SpanRecord, metrics []MetricRecord) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range spans {
+		if err := enc.Encode(jsonlLine{Type: "span", Span: &spans[i]}); err != nil {
+			return fmt.Errorf("telemetry: encoding span %d: %w", spans[i].ID, err)
+		}
+	}
+	for i := range metrics {
+		if err := enc.Encode(jsonlLine{Type: "metric", Metric: &metrics[i]}); err != nil {
+			return fmt.Errorf("telemetry: encoding metric %q: %w", metrics[i].Name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace produced by WriteJSONL. Unknown line
+// types are an error: the format is versioned by construction and a diff
+// over partially understood traces would silently lie.
+func ReadJSONL(r io.Reader) (*TraceFile, error) {
+	var tf TraceFile
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line jsonlLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", lineNo, err)
+		}
+		switch line.Type {
+		case "span":
+			if line.Span == nil {
+				return nil, fmt.Errorf("telemetry: trace line %d: span line without span", lineNo)
+			}
+			tf.Spans = append(tf.Spans, *line.Span)
+		case "metric":
+			if line.Metric == nil {
+				return nil, fmt.Errorf("telemetry: trace line %d: metric line without metric", lineNo)
+			}
+			tf.Metrics = append(tf.Metrics, *line.Metric)
+		default:
+			return nil, fmt.Errorf("telemetry: trace line %d: unknown type %q", lineNo, line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading trace: %w", err)
+	}
+	if len(tf.Spans) == 0 && len(tf.Metrics) == 0 {
+		return nil, errors.New("telemetry: empty trace")
+	}
+	return &tf, nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event "X" (complete) form;
+// load the output in chrome://tracing or https://ui.perfetto.dev.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`  // microseconds
+	Dur  int64             `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports spans in the Chrome trace_event format, mapping
+// one simulated second to one microsecond of trace time and one category
+// to one thread row. Instant events render as 1µs slices so they remain
+// visible. encoding/json sorts the Args maps, keeping output
+// deterministic.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	tids := make(map[string]int)
+	out := chromeFile{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for _, sp := range spans {
+		tid, ok := tids[sp.Cat]
+		if !ok {
+			tid = len(tids)
+			tids[sp.Cat] = tid
+		}
+		dur := sp.End - sp.Start
+		if dur < 1 {
+			dur = 1
+		}
+		ev := chromeEvent{
+			Name: sp.Name,
+			Cat:  sp.Cat,
+			Ph:   "X",
+			TS:   sp.Start,
+			Dur:  dur,
+			PID:  0,
+			TID:  tid,
+		}
+		if len(sp.Attrs) > 0 {
+			ev.Args = make(map[string]string, len(sp.Attrs)+1)
+			for _, a := range sp.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		} else {
+			ev.Args = make(map[string]string, 1)
+		}
+		ev.Args["slot"] = fmt.Sprint(sp.Slot)
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

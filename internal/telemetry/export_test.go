@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildSampleTracer() *Tracer {
+	clock := int64(0)
+	tr := NewTracer()
+	tr.SetClock(func() int64 { return clock })
+	reg := NewRegistry()
+	tr.SetMetrics(reg)
+	tr.SetSlot(0)
+	round := tr.Begin("experiment", "round", Int("slot", 0))
+	clock = 12
+	re := tr.Begin("flink", "rescale", Str("tasks", "[2 3]"))
+	clock = 42
+	re.End()
+	tr.Event("chaos", "node-crash", Str("node", "node-1"))
+	round.Annotate(Float("regret", 10.25))
+	round.End()
+	reg.Inc("rounds")
+	reg.SetGauge("gp_observations", 4)
+	if err := reg.DefineHistogram("pause_sec", []float64{10, 30, 60}); err != nil {
+		panic(err)
+	}
+	reg.Observe("pause_sec", 30)
+	return tr
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := buildSampleTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tf.Spans) != 3 {
+		t.Fatalf("round-trip kept %d spans, want 3", len(tf.Spans))
+	}
+	if len(tf.Metrics) != 3 {
+		t.Fatalf("round-trip kept %d metrics, want 3", len(tf.Metrics))
+	}
+	if tf.Spans[1].Name != "rescale" || tf.Spans[1].Start != 12 || tf.Spans[1].End != 42 {
+		t.Errorf("rescale span %+v", tf.Spans[1])
+	}
+	if v, ok := tf.Spans[2].AttrValue("node"); !ok || v != "node-1" {
+		t.Errorf("chaos attr = %q, %v", v, ok)
+	}
+	// Re-export of the parsed file must be byte-identical (the diff tool
+	// depends on the format being canonical).
+	var buf2 bytes.Buffer
+	if err := writeJSONL(&buf2, tf.Spans, tf.Metrics); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("re-exported trace differs from original")
+	}
+}
+
+func TestJSONLDeterministicBytes(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildSampleTracer().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildSampleTracer().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two identical tracers exported different bytes")
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("")); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"type":"mystery"}` + "\n")); err == nil {
+		t.Error("unknown line type accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"type":"span"}` + "\n")); err == nil {
+		t.Error("span line without span accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("non-JSON line accepted")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := buildSampleTracer()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"traceEvents"`, `"ph": "X"`, `"name": "rescale"`, `"dur": 30`, `"cat": "chaos"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome export missing %s", want)
+		}
+	}
+	var buf2 bytes.Buffer
+	if err := WriteChromeTrace(&buf2, buildSampleTracer().Spans()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("chrome export is nondeterministic")
+	}
+}

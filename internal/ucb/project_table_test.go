@@ -1,0 +1,105 @@
+package ucb
+
+import (
+	"testing"
+)
+
+// TestProjectTasksEdgeTable drives the budget projection through its
+// degenerate corners: a budget with zero slack (exactly minTasks per
+// operator), budgets below the floor, zero/invalid budgets, and
+// single-operator jobs.
+func TestProjectTasksEdgeTable(t *testing.T) {
+	flat := func(int, int) float64 { return 1 }
+	cases := []struct {
+		name     string
+		desired  []int
+		budget   int
+		minTasks int
+		want     []int
+		wantErr  bool
+	}{
+		{
+			name:     "zero-slack-budget-pins-everything-to-min",
+			desired:  []int{8, 5, 3},
+			budget:   3,
+			minTasks: 1,
+			want:     []int{1, 1, 1},
+		},
+		{
+			name:     "zero-budget-infeasible",
+			desired:  []int{2},
+			budget:   0,
+			minTasks: 1,
+			wantErr:  true,
+		},
+		{
+			name:     "budget-below-floor-infeasible",
+			desired:  []int{4, 4},
+			budget:   3,
+			minTasks: 2,
+			wantErr:  true,
+		},
+		{
+			name:     "min-tasks-zero-rejected",
+			desired:  []int{2},
+			budget:   2,
+			minTasks: 0,
+			wantErr:  true,
+		},
+		{
+			name:     "single-operator-squeezed",
+			desired:  []int{9},
+			budget:   4,
+			minTasks: 1,
+			want:     []int{4},
+		},
+		{
+			name:     "single-operator-at-exact-budget",
+			desired:  []int{4},
+			budget:   4,
+			minTasks: 1,
+			want:     []int{4},
+		},
+		{
+			name:     "desired-below-min-raised",
+			desired:  []int{0, 6},
+			budget:   10,
+			minTasks: 2,
+			want:     []int{2, 6},
+		},
+		{
+			name:     "empty-job-trivially-feasible",
+			desired:  nil,
+			budget:   0,
+			minTasks: 1,
+			want:     nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ProjectTasks(tc.desired, tc.budget, tc.minTasks, flat)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("infeasible projection accepted: %v", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			total := 0
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("got %v, want %v", got, tc.want)
+				}
+				total += got[i]
+			}
+			if total > tc.budget {
+				t.Fatalf("projection %v exceeds budget %d", got, tc.budget)
+			}
+		})
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"dragster/internal/gp"
 	"dragster/internal/stats"
+	"dragster/internal/telemetry"
 )
 
 // Acquisition selects the scoring rule.
@@ -120,6 +121,22 @@ type Searcher struct {
 	crossN     int // observations covered by crossK
 	crossEpoch uint64
 	kxScratch  []float64 // per-candidate gather buffer for PosteriorFromCross
+
+	// observability hooks; nil-safe, see internal/telemetry.
+	tracer *telemetry.Tracer
+	label  string
+}
+
+// SetTracer installs (or, with nil, removes) the observability tracer,
+// forwarding it to the underlying regressor. label identifies this
+// searcher in span attributes (typically the operator name). The searcher
+// emits one "select" event per acquisition round and one "refit_hyper"
+// span per LML grid search; the grid search's worker goroutines never
+// touch the tracer (spans bracket the call, not the workers).
+func (s *Searcher) SetTracer(tr *telemetry.Tracer, label string) {
+	s.tracer = tr
+	s.label = label
+	s.reg.SetTracer(tr, label)
 }
 
 // Config assembles a Searcher.
@@ -327,8 +344,22 @@ func (s *Searcher) refitHyperparams() error {
 	if err != nil {
 		return err
 	}
-	_, _, _, err = s.reg.MaximizeLMLWorkers(grid, s.lmlWorkers)
-	return err
+	sp := s.tracer.Begin("gp", "refit_hyper",
+		telemetry.Str("op", s.label),
+		telemetry.Int("n", s.t),
+		telemetry.Int("grid", len(grid.LengthScales)*len(grid.Variances)))
+	defer sp.End()
+	ls, variance, lml, err := s.reg.MaximizeLMLWorkers(grid, s.lmlWorkers)
+	if err != nil {
+		sp.Annotate(telemetry.Str("error", err.Error()))
+		return err
+	}
+	sp.Annotate(
+		telemetry.Float("length_scale", ls),
+		telemetry.Float("variance", variance),
+		telemetry.Float("lml", lml))
+	s.tracer.Metrics().Inc("ucb_hyper_refits")
+	return nil
 }
 
 // Observations returns the number of samples consumed.
@@ -396,6 +427,7 @@ func (s *Searcher) Select(target float64) (x []float64, idx int, beta float64, e
 				bestScore, idx = score, i
 			}
 		}
+		s.traceSelect(target, idx, beta)
 		return append([]float64(nil), s.candidates[idx]...), idx, beta, nil
 	}
 	// Score candidates from the cross-covariance cache: only observations
@@ -442,7 +474,19 @@ func (s *Searcher) Select(target float64) (x []float64, idx int, beta float64, e
 			bestScore, idx = score, i
 		}
 	}
+	s.traceSelect(target, idx, beta)
 	return append([]float64(nil), s.candidates[idx]...), idx, beta, nil
+}
+
+// traceSelect emits the per-round acquisition event.
+func (s *Searcher) traceSelect(target float64, idx int, beta float64) {
+	s.tracer.Event("ucb", "select",
+		telemetry.Str("op", s.label),
+		telemetry.Str("acq", s.acq.String()),
+		telemetry.Float("target", target),
+		telemetry.Int("idx", idx),
+		telemetry.Float("beta", beta))
+	s.tracer.Metrics().Inc("ucb_selects")
 }
 
 // ProjectTasks is Π_X: it projects desired per-operator task counts onto
