@@ -7,7 +7,7 @@
 //	benchmark -exp fig4 -slotsec 60    # one experiment, 1-minute slots
 //
 // Experiments: fig4, fig4budget, fig5, fig6, table2, fig7, table3,
-// regret, theorem2, robustness, ablation, all. At the paper's 10-minute
+// regret, theorem2, robustness, ablation, fleet, all. At the paper's 10-minute
 // slots (default -slotsec 600) the full suite simulates tens of hours of
 // cluster time and takes a few minutes of wall clock; -slotsec 60 gives a
 // quick pass with the same qualitative shapes.
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig4|fig4budget|fig5|fig6|table2|fig7|table3|regret|theorem2|ds2|robustness|ablation|all")
+		exp     = flag.String("exp", "all", "experiment: fig4|fig4budget|fig5|fig6|table2|fig7|table3|regret|theorem2|ds2|robustness|ablation|fleet|all")
 		slotSec = flag.Int("slotsec", 600, "slot length in simulated seconds (paper: 600)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		budget  = flag.Int("budget", 13, "task budget for fig4budget (paper: $1.6/h ≈ 13 TaskManager pods)")
@@ -115,6 +115,12 @@ func run(exp string, slotSec int, seed int64, budget int) error {
 			if err := runAblation(slotSec, seed); err != nil {
 				return err
 			}
+		case "fleet":
+			r, err := experiment.FleetBench(20, slotSec, seed)
+			if err != nil {
+				return err
+			}
+			experiment.RenderFleetBench(w, r)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -124,7 +130,7 @@ func run(exp string, slotSec int, seed int64, budget int) error {
 	if exp != "all" {
 		return runOne(exp)
 	}
-	order := []string{"fig4", "fig4budget", "fig5", "fig6", "table2", "fig7", "table3", "regret", "theorem2", "ds2", "robustness", "ablation"}
+	order := []string{"fig4", "fig4budget", "fig5", "fig6", "table2", "fig7", "table3", "regret", "theorem2", "ds2", "robustness", "ablation", "fleet"}
 	for i, name := range order {
 		if i > 0 {
 			sep()

@@ -10,6 +10,13 @@
 //	dragsterd -addr :8080 -workload wordcount -policy saddle -slots 100 \
 //	          -wall 2s      # one decision slot every 2 s of wall clock
 //
+// Fleet mode runs the multi-job control plane (internal/fleet) instead
+// of a single controller and adds the multi-tenant surface
+// (/fleet/status, /fleet/jobs, POST/DELETE job management):
+//
+//	dragsterd -fleet "hot=wordcount:high,light=group:low" \
+//	          -fleet-budget 20 -arbiter dual -slots 100
+//
 // The daemon drives the simulated Flink-on-Kubernetes stack; in a real
 // deployment the same loop would sit behind the Flink REST API and the
 // Kubernetes metrics server (see internal/monitor.HTTPSource).
@@ -23,10 +30,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"dragster/internal/daemon"
 	"dragster/internal/experiment"
+	"dragster/internal/fleet"
 	"dragster/internal/workload"
 )
 
@@ -42,12 +51,68 @@ func main() {
 		wall    = flag.Duration("wall", time.Second, "wall-clock pacing between slots (0 = flat out)")
 		budget  = flag.Int("budget", 0, "task budget (0 = unbounded)")
 		seed    = flag.Int64("seed", 1, "random seed")
+
+		fleetJobs   = flag.String("fleet", "", `fleet mode: comma-separated "name=workload:profile" job list`)
+		fleetBudget = flag.Int("fleet-budget", 20, "fleet mode: global Σ-tasks budget")
+		arbiter     = flag.String("arbiter", "dual", "fleet mode: budget arbitration, dual|equal")
 	)
 	flag.Parse()
-	if err := run(*addr, *wl, *policy, *profile, *period, *slots, *slotSec, *wall, *budget, *seed); err != nil {
+	var err error
+	if *fleetJobs != "" {
+		err = runFleet(*addr, *fleetJobs, *arbiter, *slots, *slotSec, *fleetBudget, *wall, *seed)
+	} else {
+		err = run(*addr, *wl, *policy, *profile, *period, *slots, *slotSec, *wall, *budget, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dragsterd:", err)
 		os.Exit(1)
 	}
+}
+
+// runFleet parses the job list and serves the multi-job control plane.
+func runFleet(addr, jobList, arbiter string, slots, slotSec, budget int, wall time.Duration, seed int64) error {
+	var jobs []fleet.JobSpec
+	for _, item := range strings.Split(jobList, ",") {
+		name, rest, ok := strings.Cut(strings.TrimSpace(item), "=")
+		if !ok {
+			return fmt.Errorf("fleet job %q: want name=workload:profile", item)
+		}
+		wlName, prof, _ := strings.Cut(rest, ":")
+		req := daemon.SubmitRequest{Name: name, Workload: wlName, Profile: prof}
+		spec, err := req.ToSpec()
+		if err != nil {
+			return fmt.Errorf("fleet job %q: %w", name, err)
+		}
+		jobs = append(jobs, spec)
+	}
+	var arb fleet.Arbitration
+	switch arbiter {
+	case "dual":
+		arb = fleet.DualPrice
+	case "equal":
+		arb = fleet.EqualSplit
+	default:
+		return fmt.Errorf("unknown arbiter %q", arbiter)
+	}
+	d, err := daemon.NewFleet(daemon.FleetConfig{
+		Fleet: fleet.Config{
+			Jobs:            jobs,
+			Slots:           slots,
+			SlotSeconds:     slotSec,
+			Seed:            seed,
+			TotalTaskBudget: budget,
+			Arbitration:     arb,
+		},
+		SlotWallInterval: wall,
+	})
+	if err != nil {
+		return err
+	}
+	return serve(addr, fmt.Sprintf("fleet mode, %d jobs, budget %d, arbiter %s", len(jobs), budget, arb),
+		d.Handler(), d.Run, func() string {
+			res := d.Result()
+			return fmt.Sprintf("finished %d rounds, $%.2f cluster spend", res.Slots, res.ClusterCost)
+		})
 }
 
 func run(addr, wl, policy, profile string, period, slots, slotSec int, wall time.Duration, budget int, seed int64) error {
@@ -101,26 +166,35 @@ func run(addr, wl, policy, profile string, period, slots, slotSec int, wall time
 		return err
 	}
 
+	return serve(addr, fmt.Sprintf("workload=%s policy=%s", wl, policy),
+		d.Handler(), d.Run, func() string {
+			s := d.Snapshot()
+			return fmt.Sprintf("finished %d/%d slots, %.3fe9 tuples, $%.2f",
+				s.SlotsCompleted, s.SlotsTotal, s.ProcessedTotal/1e9, s.CostDollars)
+		})
+}
+
+// serve runs the HTTP server alongside the loop until the loop finishes
+// or the process is interrupted, then logs the epilogue.
+func serve(addr, banner string, h http.Handler, loop func(context.Context) error, epilogue func() string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	srv := &http.Server{Addr: addr, Handler: d.Handler()}
+	srv := &http.Server{Addr: addr, Handler: h}
 	go func() {
-		log.Printf("dragsterd: serving on %s (workload=%s policy=%s)", addr, wl, policy)
+		log.Printf("dragsterd: serving on %s (%s)", addr, banner)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Printf("dragsterd: http server: %v", err)
 		}
 	}()
 
-	err = d.Run(ctx)
+	err := loop(ctx)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(shutdownCtx)
 	if err != nil && err != context.Canceled {
 		return err
 	}
-	s := d.Snapshot()
-	log.Printf("dragsterd: finished %d/%d slots, %.3fe9 tuples, $%.2f",
-		s.SlotsCompleted, s.SlotsTotal, s.ProcessedTotal/1e9, s.CostDollars)
+	log.Printf("dragsterd: %s", epilogue())
 	return nil
 }

@@ -34,6 +34,7 @@ import (
 	"dragster/internal/core"
 	"dragster/internal/dag"
 	"dragster/internal/experiment"
+	"dragster/internal/fleet"
 	"dragster/internal/flink"
 	"dragster/internal/monitor"
 	"dragster/internal/osp"
@@ -275,3 +276,29 @@ var (
 	DhalionPolicy          = experiment.DhalionPolicy
 	DS2Policy              = experiment.DS2Policy
 )
+
+// Fleet is the multi-job control plane: N controllers sharing one
+// cluster under a global Σ-tasks budget, with admission control,
+// dual-price budget arbitration, and cross-job GP warm-starts.
+type (
+	Fleet            = fleet.Manager
+	FleetConfig      = fleet.Config
+	FleetJobSpec     = fleet.JobSpec
+	FleetResult      = fleet.Result
+	FleetArbitration = fleet.Arbitration
+	FleetScenario    = experiment.FleetScenario
+	FleetScore       = experiment.FleetScore
+)
+
+// Fleet arbitration rules.
+const (
+	FleetDualPrice  = fleet.DualPrice
+	FleetEqualSplit = fleet.EqualSplit
+)
+
+// NewFleet builds a fleet manager over a fresh shared cluster.
+var NewFleet = fleet.New
+
+// RunFleetScenario runs a fleet and scores every tenant's regret and
+// attributed cost against its unbudgeted single-job optimum.
+var RunFleetScenario = experiment.RunFleetScenario

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"dragster"
+)
+
+// TestFleetExampleSmoke runs a scaled-down version of what main() does —
+// both arbitration rules over the three-tenant fleet — so the example
+// cannot rot away from the public API.
+func TestFleetExampleSmoke(t *testing.T) {
+	dual, err := runFleet(dragster.FleetDualPrice, 6, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equal, err := runFleet(dragster.FleetEqualSplit, 6, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dual.Jobs) != 3 || len(equal.Jobs) != 3 {
+		t.Fatalf("job counts: dual %d, equal %d", len(dual.Jobs), len(equal.Jobs))
+	}
+	if dual.Arbitration.String() != "dual-price" || equal.Arbitration.String() != "equal-split" {
+		t.Errorf("arbitration labels: %s / %s", dual.Arbitration, equal.Arbitration)
+	}
+	for _, s := range []struct {
+		name string
+		cost float64
+		over int
+	}{
+		{"dual-price", dual.AggregateCost, dual.BudgetOverruns},
+		{"equal-split", equal.AggregateCost, equal.BudgetOverruns},
+	} {
+		if s.cost <= 0 {
+			t.Errorf("%s: aggregate cost %v", s.name, s.cost)
+		}
+		if s.over != 0 {
+			t.Errorf("%s: %d budget overruns", s.name, s.over)
+		}
+	}
+}

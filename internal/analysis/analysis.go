@@ -74,6 +74,7 @@ func All() []*Analyzer {
 		MaporderAnalyzer(),
 		ErrflowAnalyzer(),
 		ChaoshookAnalyzer(),
+		FleethookAnalyzer(),
 	}
 }
 

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// fleethookMethods maps package → the budget re-partitioning entry
+// points that only the fleet arbiter may invoke. SetTaskBudget edits a
+// controller's share of the shared cluster budget; an uncoordinated call
+// from experiment or policy code would break the fleet-wide invariant
+// Σ_jobs Σ_ops tasks ≤ B that the arbiter maintains by construction.
+var fleethookMethods = map[string]map[string]bool{
+	ModulePath + "/internal/core": {
+		"SetTaskBudget": true,
+	},
+}
+
+// fleethookAllowed lists the packages that own budget arbitration. The
+// defining package may also call its own entry points.
+var fleethookAllowed = []string{
+	ModulePath + "/internal/fleet",
+}
+
+// FleethookAnalyzer forbids direct use of the controller budget
+// re-partitioning entry points outside internal/fleet (and the defining
+// packages themselves).
+func FleethookAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "fleethook",
+		Doc: "forbid direct calls to core.Controller.SetTaskBudget outside " +
+			"internal/fleet; per-job budget shares must be assigned by the fleet " +
+			"arbiter so the fleet-wide Σ-tasks budget invariant holds at every round",
+		Run: runFleethook,
+	}
+}
+
+func runFleethook(pass *Pass) []Diagnostic {
+	if !inModule(pass) || fleethookPkgAllowed(pass.Path()) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calledFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if !fleethookMethods[path][fn.Name()] || path == pass.Path() {
+				return true
+			}
+			// Tests exercise the primitive directly on purpose.
+			if isTestFile(pass.Fset, call.Pos()) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  call.Pos(),
+				Rule: "fleethook",
+				Message: fmt.Sprintf("%s.%s re-partitions a shared budget and is reserved "+
+					"for the fleet arbiter; set the share through fleet arbitration instead "+
+					"(allowed only under %v)", path, fn.Name(), fleethookAllowed),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+func fleethookPkgAllowed(path string) bool {
+	for _, p := range fleethookAllowed {
+		if path == p || hasPathPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}

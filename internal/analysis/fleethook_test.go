@@ -1,0 +1,14 @@
+package analysis
+
+import "testing"
+
+func TestFleethookFixture(t *testing.T) {
+	runFixture(t, "dragster/internal/fleethookbad", FleethookAnalyzer())
+}
+
+// TestFleethookAllowsFleetPackage runs the analyzer over the fixture
+// fleet package, which assigns a budget share: as the owner of budget
+// arbitration it must produce zero findings.
+func TestFleethookAllowsFleetPackage(t *testing.T) {
+	runFixture(t, "dragster/internal/fleet", FleethookAnalyzer())
+}

@@ -1,0 +1,16 @@
+// Package core stands in for dragster/internal/core in fleethook
+// fixtures.
+package core
+
+import "errors"
+
+type Controller struct{}
+
+func (c *Controller) SetTaskBudget(budget int) error {
+	if budget < 0 {
+		return errors.New("negative budget")
+	}
+	return nil
+}
+
+func (c *Controller) TaskBudget() int { return 0 }

@@ -1,0 +1,9 @@
+// Package fleet stands in for dragster/internal/fleet in fleethook
+// fixtures: it owns budget arbitration, so the entry point is legal here.
+package fleet
+
+import "dragster/internal/core"
+
+func Rebalance(c *core.Controller, share int) error {
+	return c.SetTaskBudget(share)
+}

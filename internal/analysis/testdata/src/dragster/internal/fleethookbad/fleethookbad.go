@@ -1,0 +1,24 @@
+// Package fleethookbad exercises the fleethook analyzer: controller
+// budget edits outside internal/fleet are flagged; reads and same-name
+// local methods are not.
+package fleethookbad
+
+import "dragster/internal/core"
+
+func Bad(c *core.Controller) error {
+	return c.SetTaskBudget(8) // want `dragster/internal/core\.SetTaskBudget re-partitions a shared budget`
+}
+
+type localFake struct{}
+
+func (localFake) SetTaskBudget(budget int) error { return nil }
+
+func OutOfSet(c *core.Controller) {
+	// Budget reads and same-name methods on local types are untouched.
+	_ = c.TaskBudget()
+	_ = localFake{}.SetTaskBudget(8)
+}
+
+func Waived(c *core.Controller) {
+	_ = c.SetTaskBudget(8) //lint:allow fleethook fixture demonstrates the waiver
+}

@@ -43,8 +43,8 @@ func TestMainRejectsUnknownAnalyzer(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := ByName(nil)
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(nil) = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 6 {
+		t.Fatalf("ByName(nil) = %d analyzers, err %v; want 6, nil", len(all), err)
 	}
 	two, err := ByName([]string{"errflow", "simclock"})
 	if err != nil || len(two) != 2 || two[0].Name != "errflow" || two[1].Name != "simclock" {

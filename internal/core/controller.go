@@ -317,6 +317,26 @@ func (c *Controller) Searcher(i int) *ucb.Searcher { return c.searchers[i] }
 // Duals returns the level-1 dual variables.
 func (c *Controller) Duals() []float64 { return c.level1.Duals() }
 
+// TaskBudget returns the current Σ-tasks budget (0 = unbounded).
+func (c *Controller) TaskBudget() int { return c.cfg.TaskBudget }
+
+// SetTaskBudget re-partitions this controller's share of a shared
+// cluster budget: subsequent decisions project onto Σ_i tasks_i ≤ budget
+// (0 disables the projection). Reserved for the fleet arbiter
+// (internal/fleet) — uncoordinated per-job budget edits would break the
+// fleet-wide Σ_jobs Σ_i tasks ≤ B invariant, and dragsterlint's fleethook
+// analyzer enforces that restriction.
+func (c *Controller) SetTaskBudget(budget int) error {
+	if budget < 0 {
+		return errors.New("core: negative TaskBudget")
+	}
+	if budget > 0 && budget < c.g.NumOperators() {
+		return fmt.Errorf("core: budget %d cannot host %d operators", budget, c.g.NumOperators())
+	}
+	c.cfg.TaskBudget = budget
+	return nil
+}
+
 // RejectedSamples returns how many throughput-learner observations were
 // rejected as invalid so far; nonzero values indicate degraded Theorem-2
 // model fitting.

@@ -1,0 +1,316 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"dragster/internal/fleet"
+	"dragster/internal/telemetry"
+	"dragster/internal/workload"
+)
+
+// FleetConfig assembles a FleetDaemon.
+type FleetConfig struct {
+	// Fleet is the multi-job control-plane configuration. Jobs listed in
+	// it form the initial schedule; more can arrive over HTTP while the
+	// daemon runs.
+	Fleet fleet.Config
+	// SlotWallInterval paces the round loop in wall-clock time (0 = run
+	// rounds back-to-back).
+	SlotWallInterval time.Duration
+}
+
+// FleetDaemon drives a fleet.Manager and serves its operational surface.
+// The Manager is not safe for concurrent use, so every access — the
+// round loop and each HTTP mutation — goes through one mutex.
+type FleetDaemon struct {
+	cfg FleetConfig
+
+	mu      sync.Mutex
+	m       *fleet.Manager
+	lastErr error
+}
+
+// NewFleet validates the configuration and builds the fleet stack.
+func NewFleet(cfg FleetConfig) (*FleetDaemon, error) {
+	if cfg.SlotWallInterval < 0 {
+		return nil, errors.New("daemon: negative wall interval")
+	}
+	m, err := fleet.New(cfg.Fleet)
+	if err != nil {
+		return nil, err
+	}
+	return &FleetDaemon{cfg: cfg, m: m}, nil
+}
+
+// Run executes fleet rounds until the schedule finishes or ctx is
+// cancelled. It returns nil on normal completion.
+func (d *FleetDaemon) Run(ctx context.Context) error {
+	var ticker *time.Ticker
+	if d.cfg.SlotWallInterval > 0 {
+		ticker = time.NewTicker(d.cfg.SlotWallInterval)
+		defer ticker.Stop()
+	}
+	for {
+		d.mu.Lock()
+		done := d.m.Done()
+		d.mu.Unlock()
+		if done {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		d.mu.Lock()
+		err := d.m.Step()
+		if err != nil {
+			d.lastErr = err
+		}
+		d.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if ticker != nil {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-ticker.C:
+			}
+		}
+	}
+}
+
+// Result exposes the accumulated fleet result.
+func (d *FleetDaemon) Result() *fleet.Result {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.m.Result()
+}
+
+// FleetState is the JSON payload of GET /fleet/status.
+type FleetState struct {
+	Round          int     `json:"round"`
+	Slots          int     `json:"slots"`
+	Done           bool    `json:"done"`
+	Arbitration    string  `json:"arbitration"`
+	TaskBudget     int     `json:"task_budget"`
+	RunningJobs    int     `json:"running_jobs"`
+	QueueDepth     int     `json:"queue_depth"`
+	BudgetOverruns int     `json:"budget_overruns"`
+	ClusterCost    float64 `json:"cluster_cost_dollars"`
+}
+
+// FleetJobState is one tenant in GET /fleet/jobs. LastRound fields are
+// zero until the job has run at least one round.
+type FleetJobState struct {
+	Name             string  `json:"name"`
+	Workload         string  `json:"workload"`
+	Status           string  `json:"status"`
+	ArriveSlot       int     `json:"arrive_slot"`
+	AdmitSlot        int     `json:"admit_slot"`
+	DepartSlot       int     `json:"depart_slot"`
+	Rounds           int     `json:"rounds"`
+	Budget           int     `json:"budget"`
+	Tasks            []int   `json:"tasks,omitempty"`
+	DualPrice        float64 `json:"dual_price"`
+	Steady           float64 `json:"steady_throughput_tuples_per_sec"`
+	CostDollars      float64 `json:"cost_dollars"`
+	WarmStartRecords int     `json:"warm_start_records"`
+}
+
+// SubmitRequest is the JSON body of POST /fleet/jobs.
+type SubmitRequest struct {
+	Name     string `json:"name"`
+	Workload string `json:"workload"`
+	// Profile selects the offered load: "high" or "low" (constant rates
+	// from the workload spec). Rates overrides it with explicit
+	// per-source tuples/s when non-empty.
+	Profile  string    `json:"profile,omitempty"`
+	Rates    []float64 `json:"rates,omitempty"`
+	Priority float64   `json:"priority,omitempty"`
+	// DepartSlot schedules a departure (0 = runs until killed or the
+	// fleet finishes).
+	DepartSlot int `json:"depart_slot,omitempty"`
+}
+
+// ToSpec resolves the request into a fleet job spec (also used by
+// cmd/dragsterd to parse its -fleet flag).
+func (r *SubmitRequest) ToSpec() (fleet.JobSpec, error) {
+	spec, err := workload.ByName(r.Workload)
+	if err != nil {
+		return fleet.JobSpec{}, err
+	}
+	rateVec := r.Rates
+	if len(rateVec) == 0 {
+		switch r.Profile {
+		case "", "low":
+			rateVec = spec.LowRates
+		case "high":
+			rateVec = spec.HighRates
+		default:
+			return fleet.JobSpec{}, fmt.Errorf("unknown profile %q", r.Profile)
+		}
+	}
+	rates, err := workload.Constant(rateVec)
+	if err != nil {
+		return fleet.JobSpec{}, err
+	}
+	return fleet.JobSpec{
+		Name:       r.Name,
+		Workload:   spec,
+		Rates:      rates,
+		Priority:   r.Priority,
+		DepartSlot: r.DepartSlot,
+	}, nil
+}
+
+func (d *FleetDaemon) state() FleetState {
+	res := d.m.Result()
+	running := 0
+	for _, j := range res.Jobs {
+		if j.Status == fleet.StatusRunning {
+			running++
+		}
+	}
+	return FleetState{
+		Round:          d.m.Round(),
+		Slots:          res.Slots,
+		Done:           d.m.Done(),
+		Arbitration:    res.Arbitration.String(),
+		TaskBudget:     res.TotalTaskBudget,
+		RunningJobs:    running,
+		QueueDepth:     d.m.QueueDepth(),
+		BudgetOverruns: res.BudgetOverruns,
+		ClusterCost:    res.ClusterCost,
+	}
+}
+
+func jobStateOf(jr *fleet.JobResult) FleetJobState {
+	out := FleetJobState{
+		Name:             jr.Name,
+		Workload:         jr.Workload,
+		Status:           jr.Status.String(),
+		ArriveSlot:       jr.ArriveSlot,
+		AdmitSlot:        jr.AdmitSlot,
+		DepartSlot:       jr.DepartSlot,
+		Rounds:           len(jr.Rounds),
+		CostDollars:      jr.Cost,
+		WarmStartRecords: jr.WarmStartRecords,
+	}
+	if n := len(jr.Rounds); n > 0 {
+		last := jr.Rounds[n-1]
+		out.Budget = last.Budget
+		out.Tasks = append([]int(nil), last.Tasks...)
+		out.DualPrice = last.DualPrice
+		out.Steady = last.Steady
+	}
+	return out
+}
+
+// Handler returns the fleet HTTP surface:
+//
+//	GET    /healthz            → 200 "ok" (503 after a loop error)
+//	GET    /fleet/status       → FleetState as JSON
+//	GET    /fleet/jobs         → []FleetJobState (submission order)
+//	POST   /fleet/jobs         → submit a job (SubmitRequest body)
+//	GET    /fleet/jobs/{name}  → one FleetJobState
+//	DELETE /fleet/jobs/{name}  → mark the job for departure next round
+//	GET    /metrics            → fleet telemetry registry, Prometheus text
+func (d *FleetDaemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		err := d.lastErr
+		d.mu.Unlock()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /fleet/status", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		s := d.state()
+		d.mu.Unlock()
+		writeJSON(w, s)
+	})
+	mux.HandleFunc("GET /fleet/jobs", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		jobs := d.m.Jobs()
+		d.mu.Unlock()
+		out := make([]FleetJobState, len(jobs))
+		for i := range jobs {
+			out[i] = jobStateOf(&jobs[i])
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("POST /fleet/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		spec, err := req.ToSpec()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		d.mu.Lock()
+		err = d.m.Submit(spec)
+		d.mu.Unlock()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, "job %q submitted\n", spec.Name)
+	})
+	mux.HandleFunc("GET /fleet/jobs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		d.mu.Lock()
+		jobs := d.m.Jobs()
+		d.mu.Unlock()
+		for i := range jobs {
+			if jobs[i].Name == name {
+				writeJSON(w, jobStateOf(&jobs[i]))
+				return
+			}
+		}
+		http.Error(w, fmt.Sprintf("unknown job %q", name), http.StatusNotFound)
+	})
+	mux.HandleFunc("DELETE /fleet/jobs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		d.mu.Lock()
+		err := d.m.Kill(name)
+		d.mu.Unlock()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		fmt.Fprintf(w, "job %q marked for departure\n", name)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		reg := d.m.Metrics()
+		d.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := telemetry.WritePrometheus(w, reg); err != nil {
+			return // headers already sent
+		}
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return // headers already sent
+	}
+}

@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"fmt"
+
+	"dragster/internal/cluster"
+	"dragster/internal/telemetry"
+)
+
+// Admission control: a submitted job waits in a FIFO queue until the
+// fleet can grant it its admission allocation — max(one task per
+// operator, its requested initial configuration). Admissibility needs
+// two things to hold simultaneously:
+//
+//  1. budget feasibility: the floors of every running job plus the
+//     newcomer's grant fit inside the global Σ-tasks budget (running
+//     jobs above their floor are shrunk by the rebalance that follows
+//     every admission, so floors are the binding commitment);
+//  2. capacity feasibility: the cluster has enough unreserved CPU and
+//     memory to place the grant's TaskManager pods.
+//
+// The queue is head-of-line blocking: if the front job does not fit,
+// nothing behind it is considered this round — later (smaller) jobs must
+// not starve an earlier tenant indefinitely.
+
+// grant is the Σ-tasks allocation a job receives at admission.
+func grant(spec *JobSpec) int {
+	g := spec.floor()
+	if spec.InitialTasks != nil {
+		if s := sum(spec.InitialTasks); s > g {
+			g = s
+		}
+	}
+	return g
+}
+
+// admitQueued admits as many queued jobs as fit, in FIFO order, and
+// reports whether fleet membership changed.
+func (m *Manager) admitQueued(r int) (changed bool, err error) {
+	for len(m.queue) > 0 {
+		js := m.queue[0]
+		g := grant(&js.spec)
+		if why, ok := m.admissible(js, g); !ok {
+			m.tracer.Event("fleet", "admission_wait",
+				telemetry.Str("job", js.spec.Name), telemetry.Str("reason", why))
+			break // head-of-line blocking
+		}
+		m.queue = m.queue[1:]
+		js.budget = g
+		if err := m.buildStack(js, r); err != nil {
+			return changed, fmt.Errorf("fleet: admitting job %s: %w", js.spec.Name, err)
+		}
+		js.status = StatusRunning
+		m.running = append(m.running, js)
+		m.res.Admissions = append(m.res.Admissions, AdmissionEvent{Round: r, Job: js.spec.Name, Outcome: "admitted"})
+		m.tracer.Event("fleet", "admit", telemetry.Str("job", js.spec.Name), telemetry.Int("grant", g))
+		m.reg.Inc("fleet_jobs_admitted")
+		m.cfg.Counters.Inc("fleet_jobs_admitted")
+		changed = true
+	}
+	return changed, nil
+}
+
+// admissible checks budget and capacity feasibility for a grant of g
+// tasks. Returns a human-readable reason when the answer is no.
+func (m *Manager) admissible(js *jobState, g int) (string, bool) {
+	committed := 0
+	for _, r := range m.running {
+		committed += r.spec.floor()
+	}
+	if committed+g > m.cfg.TotalTaskBudget {
+		return fmt.Sprintf("budget: floors %d + grant %d > total %d", committed, g, m.cfg.TotalTaskBudget), false
+	}
+	free := m.freeCapacity()
+	tm := m.session.Options().TaskManagerSpec
+	need := cluster.ResourceSpec{CPUMilli: g * tm.CPUMilli, MemoryMB: g * tm.MemoryMB}
+	if need.CPUMilli > free.CPUMilli || need.MemoryMB > free.MemoryMB {
+		return fmt.Sprintf("capacity: need %dm/%dMB, free %dm/%dMB",
+			need.CPUMilli, need.MemoryMB, free.CPUMilli, free.MemoryMB), false
+	}
+	return "", true
+}
+
+// freeCapacity is the cluster's total allocatable minus everything
+// reserved by live (running or pending) pods.
+func (m *Manager) freeCapacity() cluster.ResourceSpec {
+	var free cluster.ResourceSpec
+	for _, n := range m.k8s.Nodes() {
+		if spec, ok := m.k8s.NodeAllocatable(n); ok {
+			free.CPUMilli += spec.CPUMilli
+			free.MemoryMB += spec.MemoryMB
+		}
+	}
+	for _, p := range m.k8s.Pods() {
+		if p.Phase != cluster.PodTerminated {
+			free.CPUMilli -= p.Spec.CPUMilli
+			free.MemoryMB -= p.Spec.MemoryMB
+		}
+	}
+	return free
+}

@@ -1,0 +1,1091 @@
+// Package fleet is Dragster's multi-job control plane: it runs N
+// concurrent core.Controller instances — one per streaming job — against
+// one shared simulated Kubernetes cluster and arbitrates the global
+// resource budget between them.
+//
+// The paper (and the rest of this repo) optimizes one job against one
+// cluster; production stream platforms run many jobs that compete for the
+// same budget. The fleet manager adds the three pieces that competition
+// needs:
+//
+//   - an admission controller that queues or rejects job submissions
+//     against the remaining cluster capacity and task budget;
+//   - a deterministic budget arbiter that periodically re-partitions the
+//     global Σ-tasks budget across jobs using each job's OSP dual price
+//     (a high shadow price means the job's long-term buffer constraint is
+//     binding, i.e. it is starved — so it receives more budget), with
+//     per-job floors, priorities, and hysteresis to prevent thrash;
+//   - cross-job GP warm-start: when a job joins, its per-operator
+//     gp.Regressor state is seeded from the capacity history of
+//     DAG-compatible jobs that ran before it, so new tenants skip the
+//     cold-start exploration phase.
+//
+// Everything is deterministic at a fixed seed: jobs are processed in a
+// stable order, the arbiter is a pure function of observable state, and
+// the per-round decide fan-out joins before any shared state is touched.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"dragster/internal/chaos"
+	"dragster/internal/cluster"
+	"dragster/internal/core"
+	"dragster/internal/flink"
+	"dragster/internal/monitor"
+	"dragster/internal/osp"
+	"dragster/internal/stats"
+	"dragster/internal/store"
+	"dragster/internal/streamsim"
+	"dragster/internal/telemetry"
+	"dragster/internal/workload"
+)
+
+// JobStatus is a tenant's lifecycle state.
+type JobStatus int
+
+// Job lifecycle: Pending jobs have not yet arrived; Queued jobs passed
+// submission but wait for capacity; Running jobs hold a stack and a
+// budget share; Departed jobs were cancelled (scheduled departure or
+// kill); Rejected jobs were refused at submission.
+const (
+	StatusPending JobStatus = iota
+	StatusQueued
+	StatusRunning
+	StatusDeparted
+	StatusRejected
+)
+
+// String implements fmt.Stringer.
+func (s JobStatus) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusQueued:
+		return "queued"
+	case StatusRunning:
+		return "running"
+	case StatusDeparted:
+		return "departed"
+	case StatusRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("JobStatus(%d)", int(s))
+	}
+}
+
+// JobSpec describes one tenant of the fleet.
+type JobSpec struct {
+	// Name identifies the job; must be unique within the fleet.
+	Name string
+	// Workload supplies the DAG, ground-truth capacity models, and grid
+	// bounds (same contract as a single-job experiment).
+	Workload *workload.Spec
+	// Rates is the offered-load profile, indexed by the job's own slot
+	// count (slot 0 = the job's first round after admission).
+	Rates workload.RateFunc
+	// ArriveSlot is the fleet round at which the job is submitted
+	// (0 = present from the start).
+	ArriveSlot int
+	// DepartSlot, when positive, cancels the job at the start of that
+	// fleet round (it does not run that round).
+	DepartSlot int
+	// Priority weights the job in the budget arbiter (default 1; higher
+	// values attract proportionally more surplus budget).
+	Priority float64
+	// InitialTasks is the configuration at admission (default all 1 — the
+	// admission floor).
+	InitialTasks []int
+	// Method selects the job's level-1 algorithm (default SaddlePoint).
+	Method osp.Method
+}
+
+func (j *JobSpec) validate() error {
+	if j.Name == "" {
+		return errors.New("fleet: job without a name")
+	}
+	if j.Workload == nil || j.Rates == nil {
+		return fmt.Errorf("fleet: job %s needs a Workload and a RateFunc", j.Name)
+	}
+	if err := j.Workload.Validate(); err != nil {
+		return fmt.Errorf("fleet: job %s: %w", j.Name, err)
+	}
+	if j.ArriveSlot < 0 || j.DepartSlot < 0 {
+		return fmt.Errorf("fleet: job %s: negative arrival/departure slot", j.Name)
+	}
+	if j.DepartSlot > 0 && j.DepartSlot <= j.ArriveSlot {
+		return fmt.Errorf("fleet: job %s departs at round %d before arriving at %d", j.Name, j.DepartSlot, j.ArriveSlot)
+	}
+	if j.Priority < 0 {
+		return fmt.Errorf("fleet: job %s: negative priority", j.Name)
+	}
+	m := j.Workload.Graph.NumOperators()
+	if j.InitialTasks != nil && len(j.InitialTasks) != m {
+		return fmt.Errorf("fleet: job %s: got %d initial tasks, want %d", j.Name, len(j.InitialTasks), m)
+	}
+	return nil
+}
+
+// floor is the minimum Σ-tasks allocation that keeps the job alive: one
+// task per operator.
+func (j *JobSpec) floor() int { return j.Workload.Graph.NumOperators() }
+
+// maxUseful is the largest Σ-tasks budget the job can convert into
+// capacity; budget beyond it is pure slack.
+func (j *JobSpec) maxUseful() int {
+	return j.Workload.Graph.NumOperators() * j.Workload.MaxTasks
+}
+
+// Config assembles a fleet Manager.
+type Config struct {
+	// Jobs are the tenants, with their arrival/departure schedule.
+	// Dynamic tenants can additionally be submitted at runtime via
+	// Manager.Submit (the daemon surface).
+	Jobs []JobSpec
+	// Slots is the number of fleet rounds to run.
+	Slots int
+	// SlotSeconds is the round length in simulated seconds (default 600).
+	SlotSeconds int
+	// Seed drives all stochastic behaviour (default 1). Each job's
+	// dataflow noise uses an independent deterministic stream derived
+	// from it.
+	Seed int64
+	// NoiseSigma / UtilNoiseSigma mirror the single-job scenario knobs.
+	NoiseSigma     float64
+	UtilNoiseSigma float64
+	// TotalTaskBudget is the global Σ_jobs Σ_ops tasks bound the arbiter
+	// partitions (required).
+	TotalTaskBudget int
+	// Arbitration selects the budget re-partitioning rule (default
+	// DualPrice; EqualSplit is the static baseline).
+	Arbitration Arbitration
+	// RebalanceEvery re-runs the arbiter every that many rounds (default
+	// 3). Membership changes (admission, departure) always trigger one.
+	RebalanceEvery int
+	// HysteresisTasks suppresses budget changes smaller than this many
+	// tasks (default 2), preventing rescale thrash from price jitter.
+	HysteresisTasks int
+	// MaxGrowTasks bounds how much one rebalance may grow a single job's
+	// budget (default 4); shrinks are not bounded, so the global invariant
+	// is restored immediately.
+	MaxGrowTasks int
+	// MaxQueue bounds the admission queue; submissions beyond it are
+	// rejected (default 8).
+	MaxQueue int
+	// DisableWarmStart turns off cross-job GP seeding (used by ablations).
+	DisableWarmStart bool
+	// WarmStartMaxPerOperator caps how many history records per operator
+	// are replayed into a joining job's GPs (default 48; replay is O(n²)).
+	WarmStartMaxPerOperator int
+	// PricePerCoreHour sets the shared cost meter (default 0.08 $/core·h).
+	PricePerCoreHour float64
+	// MaxBufferSeconds caps per-edge backlog (default 120 s of each job's
+	// peak rate).
+	MaxBufferSeconds float64
+	// Nodes overrides the auto-sized node count; NodeSpec the node shape
+	// (default 4000m / 8192 MB).
+	Nodes    int
+	NodeSpec cluster.ResourceSpec
+	// Chaos, when set, replays a fault schedule through a seeded engine
+	// installed on the shared cluster (node crashes, scheduler delays —
+	// the cluster-level faults every tenant feels).
+	Chaos *chaos.Spec
+	// ChaosSeed seeds chaos victim selection (default Seed+104729).
+	ChaosSeed int64
+	// Counters receives fault/retry/admission telemetry (default: fresh).
+	Counters *telemetry.Counters
+	// Metrics receives the fleet gauges (per-job budget shares, queue
+	// depth, arbiter decision counts). Defaults to a fresh registry; when
+	// a Tracer with an attached registry is supplied, that registry wins
+	// so traces and metrics stay in one place.
+	Metrics *telemetry.Registry
+	// Tracer, when set, records a sim-time span trace of the fleet run
+	// with per-job labelled spans. Tracing serializes the per-round decide
+	// fan-out (the Tracer is single-threaded by contract), so traced runs
+	// trade parallelism for byte-identical traces.
+	Tracer *telemetry.Tracer
+	// ForecastAlpha enables Holt load forecasting in every controller.
+	ForecastAlpha float64
+}
+
+func (c *Config) setDefaults() error {
+	if len(c.Jobs) == 0 {
+		return errors.New("fleet: no jobs")
+	}
+	seen := make(map[string]bool, len(c.Jobs))
+	for i := range c.Jobs {
+		if err := c.Jobs[i].validate(); err != nil {
+			return err
+		}
+		if seen[c.Jobs[i].Name] {
+			return fmt.Errorf("fleet: duplicate job name %q", c.Jobs[i].Name)
+		}
+		seen[c.Jobs[i].Name] = true
+		if c.Jobs[i].Priority == 0 {
+			c.Jobs[i].Priority = 1
+		}
+	}
+	if c.Slots < 1 {
+		return errors.New("fleet: Slots must be ≥ 1")
+	}
+	if c.SlotSeconds == 0 {
+		c.SlotSeconds = 600
+	}
+	if c.SlotSeconds < 1 {
+		return errors.New("fleet: SlotSeconds must be ≥ 1")
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.NoiseSigma == 0 {
+		c.NoiseSigma = 0.05
+	}
+	if c.UtilNoiseSigma == 0 {
+		c.UtilNoiseSigma = 0.02
+	}
+	if c.NoiseSigma < 0 || c.UtilNoiseSigma < 0 {
+		return errors.New("fleet: negative noise")
+	}
+	if c.TotalTaskBudget < 1 {
+		return errors.New("fleet: TotalTaskBudget must be ≥ 1")
+	}
+	if c.RebalanceEvery == 0 {
+		c.RebalanceEvery = 3
+	}
+	if c.RebalanceEvery < 1 {
+		return errors.New("fleet: RebalanceEvery must be ≥ 1")
+	}
+	if c.HysteresisTasks == 0 {
+		c.HysteresisTasks = 2
+	}
+	if c.HysteresisTasks < 1 {
+		return errors.New("fleet: HysteresisTasks must be ≥ 1")
+	}
+	if c.MaxGrowTasks == 0 {
+		c.MaxGrowTasks = 4
+	}
+	if c.MaxGrowTasks < 1 {
+		return errors.New("fleet: MaxGrowTasks must be ≥ 1")
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 8
+	}
+	if c.MaxQueue < 1 {
+		return errors.New("fleet: MaxQueue must be ≥ 1")
+	}
+	if c.WarmStartMaxPerOperator == 0 {
+		c.WarmStartMaxPerOperator = 48
+	}
+	if c.WarmStartMaxPerOperator < 1 {
+		return errors.New("fleet: WarmStartMaxPerOperator must be ≥ 1")
+	}
+	if c.PricePerCoreHour == 0 {
+		c.PricePerCoreHour = 0.08
+	}
+	if c.PricePerCoreHour < 0 {
+		return errors.New("fleet: negative price")
+	}
+	if c.MaxBufferSeconds == 0 {
+		c.MaxBufferSeconds = 120
+	}
+	if c.MaxBufferSeconds < 0 {
+		return errors.New("fleet: negative MaxBufferSeconds")
+	}
+	if c.Nodes < 0 {
+		return errors.New("fleet: negative Nodes")
+	}
+	if c.NodeSpec == (cluster.ResourceSpec{}) {
+		c.NodeSpec = cluster.ResourceSpec{CPUMilli: 4000, MemoryMB: 8192}
+	}
+	if c.Chaos != nil {
+		if err := c.Chaos.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.ChaosSeed == 0 {
+		c.ChaosSeed = c.Seed + 104729
+	}
+	if c.Counters == nil {
+		c.Counters = telemetry.NewCounters()
+	}
+	if c.Tracer != nil && c.Tracer.Metrics() != nil {
+		c.Metrics = c.Tracer.Metrics()
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.NewRegistry()
+	}
+	if c.ForecastAlpha < 0 || c.ForecastAlpha >= 1 {
+		return errors.New("fleet: ForecastAlpha outside [0, 1)")
+	}
+	return nil
+}
+
+// JobRound is one fleet round of one running job.
+type JobRound struct {
+	Round      int       // fleet round index
+	JobSlot    int       // the job's own slot index (0 at admission)
+	Rates      []float64 // offered load that round
+	Tasks      []int     // effective parallelism during the round
+	TotalTasks int
+	Budget     int     // the job's Σ-tasks budget share during the round
+	Steady     float64 // noise-free steady throughput of Tasks
+	Measured   float64 // what the sink actually saw
+	CostCum    float64 // job-attributed dollars up to round end
+	DualPrice  float64 // mean positive dual after the round's decision
+	TargetY    []float64
+	Skipped    bool // no fresh metrics sample; decision round skipped
+}
+
+// JobResult is the full fleet history of one tenant.
+type JobResult struct {
+	Name             string
+	Workload         string
+	Status           JobStatus
+	ArriveSlot       int
+	AdmitSlot        int // -1 if never admitted
+	DepartSlot       int // -1 if still running at the end
+	QueuedRounds     int
+	WarmStarted      bool
+	WarmStartRecords int
+	Cost             float64 // attributed dollars over the job's lifetime
+	Rounds           []JobRound
+}
+
+// AdmissionEvent records one admission-controller outcome.
+type AdmissionEvent struct {
+	Round   int
+	Job     string
+	Outcome string // "admitted" | "queued" | "rejected"
+	Reason  string
+}
+
+// ArbiterDecision records one applied budget change.
+type ArbiterDecision struct {
+	Round int
+	Job   string
+	From  int
+	To    int
+	Price float64 // the dual price that drove the decision
+}
+
+// Result is a full fleet run.
+type Result struct {
+	Arbitration       Arbitration
+	Slots             int
+	TotalTaskBudget   int
+	Jobs              []JobResult // Config.Jobs order, then dynamic submissions
+	Admissions        []AdmissionEvent
+	ArbiterDecisions  []ArbiterDecision
+	TotalTasksByRound []int // Σ effective tasks across jobs, per round
+	BudgetOverruns    int   // rounds where that sum exceeded the budget
+	ClusterCost       float64
+	PeakQueueDepth    int
+	SkippedRounds     int
+	Counters          *telemetry.Counters
+}
+
+// jobState is the Manager's per-tenant bookkeeping.
+type jobState struct {
+	idx    int
+	spec   JobSpec
+	status JobStatus
+
+	ctrl    *core.Controller
+	fj      *flink.Job
+	mon     *monitor.Monitor
+	retrier *core.RescaleRetrier
+
+	// db is the job's private history database (seeded from the kind
+	// archive at admission; the controller appends to it during Decide).
+	// harvested tracks, per operator, how many of its records have been
+	// copied into the archive so far.
+	db        *store.DB
+	harvested map[string]int
+
+	budget   int // current Σ-tasks share
+	usage    int // Σ desired tasks last applied
+	need     int // Σ tasks demand estimate from the last snapshot (0 = none yet)
+	queuedAt int
+	res      *JobResult
+}
+
+// Manager owns the shared cluster and drives the fleet one round at a
+// time. It is not safe for concurrent use; the daemon serializes access.
+type Manager struct {
+	cfg     Config
+	k8s     *cluster.Cluster
+	session *flink.SessionCluster
+	chaos   *chaos.Engine
+	tracer  *telemetry.Tracer
+	reg     *telemetry.Registry
+
+	jobs    []*jobState // all tenants ever seen, submission order
+	byName  map[string]*jobState
+	queue   []*jobState // admission queue, FIFO
+	running []*jobState // admission order
+	archive *warmArchive
+	round   int
+	res     *Result
+	kills   map[string]bool // names marked for departure next round
+}
+
+// New validates cfg and builds the shared substrate (cluster, Flink
+// session, chaos engine). Jobs are admitted as they arrive during Run.
+func New(cfg Config) (*Manager, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:     cfg,
+		tracer:  cfg.Tracer,
+		reg:     cfg.Metrics,
+		byName:  make(map[string]*jobState),
+		archive: newWarmArchive(),
+		kills:   make(map[string]bool),
+	}
+	nNodes := cfg.Nodes
+	if nNodes == 0 {
+		// Size for the budget plus the JobManager, at ~4 task slots per
+		// node, with one spare so single-node failures degrade rather than
+		// wedge the fleet.
+		nNodes = (cfg.TotalTaskBudget+1)/4 + 2
+	}
+	m.k8s = cluster.New(cluster.WithPricePerCoreHour(cfg.PricePerCoreHour))
+	if err := m.k8s.AddNodes("node", nNodes, cfg.NodeSpec); err != nil {
+		return nil, err
+	}
+	m.tracer.SetClock(m.k8s.Clock)
+	m.k8s.SetTracer(m.tracer)
+	session, err := flink.NewSession(m.k8s, flink.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	m.session = session
+	if cfg.Chaos != nil {
+		eng, err := chaos.NewEngine(cfg.Chaos, cfg.ChaosSeed, cfg.Counters)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetTracer(m.tracer)
+		// Fleet chaos is cluster-scoped: node crashes, scheduler delays,
+		// OOM kills — the faults every tenant shares. Per-job savepoint
+		// and metrics faults stay a single-job scenario concern.
+		if err := eng.Install(m.k8s, nil, nil); err != nil {
+			return nil, err
+		}
+		m.chaos = eng
+	}
+	m.res = &Result{
+		Arbitration:     cfg.Arbitration,
+		Slots:           cfg.Slots,
+		TotalTaskBudget: cfg.TotalTaskBudget,
+		Counters:        cfg.Counters,
+	}
+	for i := range cfg.Jobs {
+		js := &jobState{
+			idx:    i,
+			spec:   cfg.Jobs[i],
+			status: StatusPending,
+			res: &JobResult{
+				Name:       cfg.Jobs[i].Name,
+				Workload:   cfg.Jobs[i].Workload.Name,
+				Status:     StatusPending,
+				ArriveSlot: cfg.Jobs[i].ArriveSlot,
+				AdmitSlot:  -1,
+				DepartSlot: -1,
+			},
+		}
+		m.jobs = append(m.jobs, js)
+		m.byName[js.spec.Name] = js
+	}
+	return m, nil
+}
+
+// Cluster exposes the shared Kubernetes substrate (diagnostics, tests).
+func (m *Manager) Cluster() *cluster.Cluster { return m.k8s }
+
+// Metrics exposes the fleet's metrics registry (budget shares, queue
+// depth, arbiter decisions) — the daemon serves it at GET /metrics.
+func (m *Manager) Metrics() *telemetry.Registry { return m.reg }
+
+// Round returns the next round index to run.
+func (m *Manager) Round() int { return m.round }
+
+// Done reports whether every round has run.
+func (m *Manager) Done() bool { return m.round >= m.cfg.Slots }
+
+// Result returns the result accumulated so far (shared, not a copy).
+// Job statuses and cluster cost are refreshed on every call.
+func (m *Manager) Result() *Result {
+	for _, js := range m.jobs {
+		js.res.Status = js.status
+		js.res.Cost = jobCost(js)
+	}
+	m.res.Jobs = m.res.Jobs[:0]
+	for _, js := range m.jobs {
+		m.res.Jobs = append(m.res.Jobs, *js.res)
+	}
+	m.res.ClusterCost = m.k8s.Cost()
+	return m.res
+}
+
+func jobCost(js *jobState) float64 {
+	if n := len(js.res.Rounds); n > 0 {
+		return js.res.Rounds[n-1].CostCum
+	}
+	return 0
+}
+
+// Submit adds a dynamic tenant (the daemon's POST /fleet/jobs surface):
+// the job arrives at the next round. Returns an error when the name is
+// taken or the spec is invalid.
+func (m *Manager) Submit(spec JobSpec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	if _, ok := m.byName[spec.Name]; ok {
+		return fmt.Errorf("fleet: job %q already exists", spec.Name)
+	}
+	if spec.Priority == 0 {
+		spec.Priority = 1
+	}
+	spec.ArriveSlot = m.round
+	js := &jobState{
+		idx:    len(m.jobs),
+		spec:   spec,
+		status: StatusPending,
+		res: &JobResult{
+			Name:       spec.Name,
+			Workload:   spec.Workload.Name,
+			Status:     StatusPending,
+			ArriveSlot: spec.ArriveSlot,
+			AdmitSlot:  -1,
+			DepartSlot: -1,
+		},
+	}
+	m.jobs = append(m.jobs, js)
+	m.byName[js.spec.Name] = js
+	return nil
+}
+
+// Kill marks a job for departure at the start of the next round (the
+// daemon's kill surface). Unknown names error; already-departed jobs are
+// a no-op.
+func (m *Manager) Kill(name string) error {
+	js, ok := m.byName[name]
+	if !ok {
+		return fmt.Errorf("fleet: unknown job %q", name)
+	}
+	if js.status == StatusDeparted || js.status == StatusRejected {
+		return nil
+	}
+	m.kills[name] = true
+	return nil
+}
+
+// Jobs returns a snapshot of every tenant's result (submission order).
+func (m *Manager) Jobs() []JobResult {
+	out := make([]JobResult, 0, len(m.jobs))
+	for _, js := range m.jobs {
+		jr := *js.res
+		jr.Status = js.status
+		jr.Cost = jobCost(js)
+		out = append(out, jr)
+	}
+	return out
+}
+
+// QueueDepth returns the current admission queue length.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// Run executes every remaining round.
+func (m *Manager) Run() (*Result, error) {
+	for !m.Done() {
+		if err := m.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return m.Result(), nil
+}
+
+// Step runs one fleet round: departures, arrivals, admission, budget
+// arbitration, co-simulated slot execution, per-job decisions, and
+// bookkeeping.
+func (m *Manager) Step() error {
+	if m.Done() {
+		return errors.New("fleet: manager already finished")
+	}
+	r := m.round
+	m.tracer.SetSlot(r)
+	round := m.tracer.Begin("fleet", "round", telemetry.Int("round", r))
+	defer round.End()
+
+	departed := m.processDepartures(r)
+	m.processArrivals(r)
+	admitted, err := m.admitQueued(r)
+	if err != nil {
+		return err
+	}
+	if departed || admitted || r%m.cfg.RebalanceEvery == 0 {
+		if err := m.rebalance(r); err != nil {
+			return err
+		}
+	}
+	if m.chaos != nil {
+		m.chaos.BeginSlot(r)
+	}
+
+	rates, err := m.runSlots(r)
+	if err != nil {
+		return err
+	}
+	snaps, err := m.collect()
+	if err != nil {
+		return err
+	}
+	decisions, err := m.decideAll(snaps)
+	if err != nil {
+		return err
+	}
+	if err := m.applyDecisions(r, snaps, decisions); err != nil {
+		return err
+	}
+	m.harvest()
+	m.record(r, rates, snaps)
+	m.gauges()
+	m.reg.Inc("fleet_rounds")
+	m.round++
+	return nil
+}
+
+// processDepartures cancels jobs whose departure round has come (or that
+// were killed via Kill), reporting whether membership changed.
+func (m *Manager) processDepartures(r int) (departed bool) {
+	keep := m.running[:0]
+	for _, js := range m.running {
+		due := (js.spec.DepartSlot > 0 && r >= js.spec.DepartSlot) || m.kills[js.spec.Name]
+		if !due {
+			keep = append(keep, js)
+			continue
+		}
+		m.departJob(js, r)
+		departed = true
+	}
+	m.running = keep
+	// Queued or pending jobs can be killed before ever running.
+	qkeep := m.queue[:0]
+	for _, js := range m.queue {
+		due := (js.spec.DepartSlot > 0 && r >= js.spec.DepartSlot) || m.kills[js.spec.Name]
+		if !due {
+			qkeep = append(qkeep, js)
+			continue
+		}
+		js.status = StatusDeparted
+		js.res.DepartSlot = r
+	}
+	m.queue = qkeep
+	// A kill can land before the job ever arrives (still pending); mark
+	// it departed now or the kill would be lost when the map is cleared.
+	for _, js := range m.jobs {
+		if js.status == StatusPending && m.kills[js.spec.Name] {
+			js.status = StatusDeparted
+			js.res.DepartSlot = r
+		}
+	}
+	for name := range m.kills {
+		delete(m.kills, name)
+	}
+	return departed
+}
+
+func (m *Manager) departJob(js *jobState, r int) {
+	if err := m.session.CancelJob(js.spec.Name); err != nil {
+		// Only possible if the job was already cancelled — a manager bug;
+		// surface via counters rather than silently diverging.
+		m.cfg.Counters.Inc("fleet_cancel_errors")
+	}
+	js.status = StatusDeparted
+	js.res.DepartSlot = r
+	js.budget = 0
+	m.tracer.Event("fleet", "depart", telemetry.Str("job", js.spec.Name), telemetry.Int("round", r))
+	m.reg.Inc("fleet_jobs_departed")
+	m.cfg.Counters.Inc("fleet_jobs_departed")
+}
+
+// processArrivals moves due tenants into the admission queue, rejecting
+// the ones that can never fit or that overflow the queue.
+func (m *Manager) processArrivals(r int) {
+	for _, js := range m.jobs {
+		if js.status != StatusPending || r < js.spec.ArriveSlot {
+			continue
+		}
+		if js.spec.floor() > m.cfg.TotalTaskBudget {
+			m.reject(js, r, fmt.Sprintf("floor %d exceeds total budget %d", js.spec.floor(), m.cfg.TotalTaskBudget))
+			continue
+		}
+		if len(m.queue) >= m.cfg.MaxQueue {
+			m.reject(js, r, fmt.Sprintf("admission queue full (%d)", m.cfg.MaxQueue))
+			continue
+		}
+		js.status = StatusQueued
+		js.queuedAt = r
+		m.queue = append(m.queue, js)
+		m.res.Admissions = append(m.res.Admissions, AdmissionEvent{Round: r, Job: js.spec.Name, Outcome: "queued"})
+		if d := len(m.queue); d > m.res.PeakQueueDepth {
+			m.res.PeakQueueDepth = d
+		}
+	}
+}
+
+func (m *Manager) reject(js *jobState, r int, why string) {
+	js.status = StatusRejected
+	m.res.Admissions = append(m.res.Admissions, AdmissionEvent{Round: r, Job: js.spec.Name, Outcome: "rejected", Reason: why})
+	m.tracer.Event("fleet", "reject", telemetry.Str("job", js.spec.Name), telemetry.Str("reason", why))
+	m.reg.Inc("fleet_jobs_rejected")
+	m.cfg.Counters.Inc("fleet_jobs_rejected")
+}
+
+// runSlots co-simulates one decision slot for every running job. The
+// first running job owns the shared cluster clock (see
+// flink.RunSlotDetached); with no tenants the manager ticks it directly
+// so cost and chaos schedules stay on sim time. Returns each job's mean
+// offered rates for the round, indexed like m.running.
+func (m *Manager) runSlots(r int) ([][]float64, error) {
+	if len(m.running) == 0 {
+		m.k8s.Tick(int64(m.cfg.SlotSeconds))
+		return nil, nil
+	}
+	rates := make([][]float64, len(m.running))
+	for i, js := range m.running {
+		jobSlot := js.fj.Slot()
+		rateAt := func(sec int) []float64 { return js.spec.Rates(jobSlot, sec) }
+		rates[i] = append([]float64(nil), js.spec.Rates(jobSlot, 0)...)
+		var err error
+		if i == 0 {
+			_, err = js.fj.RunSlot(m.cfg.SlotSeconds, rateAt)
+		} else {
+			_, err = js.fj.RunSlotDetached(m.cfg.SlotSeconds, rateAt)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fleet: job %s round %d: %w", js.spec.Name, r, err)
+		}
+	}
+	return rates, nil
+}
+
+// collect fetches each running job's monitor snapshot sequentially (the
+// tracer and monitor are single-threaded). A nil entry means the metrics
+// pipeline had no fresh sample and the job skips its decision round.
+func (m *Manager) collect() ([]*monitor.Snapshot, error) {
+	snaps := make([]*monitor.Snapshot, len(m.running))
+	for i, js := range m.running {
+		snap, err := js.mon.Collect()
+		if err != nil {
+			if errors.Is(err, monitor.ErrNoSample) {
+				m.res.SkippedRounds++
+				m.cfg.Counters.Inc("fleet_skipped_rounds")
+				continue
+			}
+			return nil, fmt.Errorf("fleet: job %s: %w", js.spec.Name, err)
+		}
+		snaps[i] = snap
+	}
+	return snaps, nil
+}
+
+type decision struct {
+	desired []int
+	diag    *core.LastTargets
+}
+
+// decideAll runs every controller's Algorithm-2 pass for the round. The
+// controllers are independent (each owns its GPs, duals, and a private
+// history DB), so with no tracer installed the passes run concurrently —
+// the registry and counters they share are concurrent-safe and
+// order-insensitive, keeping results deterministic. A tracer serializes
+// the fan-out because span emission is single-threaded by contract.
+func (m *Manager) decideAll(snaps []*monitor.Snapshot) ([]decision, error) {
+	out := make([]decision, len(m.running))
+	errs := make([]error, len(m.running))
+	decideOne := func(i int) {
+		js := m.running[i]
+		if snaps[i] == nil {
+			return
+		}
+		desired, diag, err := js.ctrl.DecideDetailed(snaps[i])
+		if err != nil {
+			errs[i] = fmt.Errorf("fleet: job %s decide: %w", js.spec.Name, err)
+			return
+		}
+		out[i] = decision{desired: desired, diag: diag}
+	}
+	if m.tracer == nil {
+		var wg sync.WaitGroup
+		for i := range m.running {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				decideOne(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range m.running {
+			decideOne(i)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// applyDecisions rescales each job to its decision, in admission order.
+// Injected savepoint/rescale faults are absorbed by the per-job retrier.
+func (m *Manager) applyDecisions(r int, snaps []*monitor.Snapshot, decisions []decision) error {
+	for i, js := range m.running {
+		if snaps[i] == nil {
+			continue
+		}
+		if err := js.retrier.Apply(js.fj, decisions[i].desired, nil, r); err != nil {
+			return fmt.Errorf("fleet: job %s rescale: %w", js.spec.Name, err)
+		}
+		js.usage = sum(decisions[i].desired)
+	}
+	return nil
+}
+
+// record appends each running job's round trace and enforces the global
+// budget invariant bookkeeping.
+func (m *Manager) record(r int, rates [][]float64, snaps []*monitor.Snapshot) {
+	total := 0
+	secs := float64(m.cfg.SlotSeconds)
+	for i, js := range m.running {
+		tasks := js.fj.EffectiveParallelism()
+		cpu := js.fj.EffectiveCPUMilli()
+		total += sum(tasks)
+		// Attributed cost: the CPU this job's pods reserved for the round.
+		var cpuMilli int
+		for k, n := range tasks {
+			cpuMilli += n * cpu[k]
+		}
+		cost := jobCost(js) + float64(cpuMilli)/1000*secs/3600*m.cfg.PricePerCoreHour
+		if snaps[i] != nil {
+			js.need = estimateNeed(snaps[i], js.spec.Workload.MaxTasks)
+		}
+		jr := JobRound{
+			Round:      r,
+			JobSlot:    js.fj.Slot() - 1,
+			Rates:      rates[i],
+			Tasks:      tasks,
+			TotalTasks: sum(tasks),
+			Budget:     js.budget,
+			CostCum:    cost,
+			DualPrice:  dualPrice(js.ctrl.Duals()),
+			Skipped:    snaps[i] == nil,
+		}
+		if snaps[i] != nil {
+			jr.Measured = snaps[i].Throughput
+		}
+		if steady, ok := m.steadyThroughput(js, rates[i], tasks, cpu); ok {
+			jr.Steady = steady
+		}
+		js.res.Rounds = append(js.res.Rounds, jr)
+	}
+	for _, js := range m.queue {
+		js.res.QueuedRounds++
+	}
+	m.res.TotalTasksByRound = append(m.res.TotalTasksByRound, total)
+	if total > m.cfg.TotalTaskBudget {
+		m.res.BudgetOverruns++
+		m.cfg.Counters.Inc("fleet_budget_overruns")
+	}
+}
+
+// steadyThroughput evaluates the job's ground-truth steady throughput at
+// the given allocation (the simulator's hidden capacity curves).
+func (m *Manager) steadyThroughput(js *jobState, rates []float64, tasks []int, cpu []int) (float64, bool) {
+	models := js.spec.Workload.Models
+	caps := make([]float64, len(tasks))
+	for i, n := range tasks {
+		if ra, ok := models[i].(streamsim.ResourceAware); ok && cpu[i] > 0 {
+			caps[i] = ra.CapacityWithCPU(n, cpu[i])
+		} else {
+			caps[i] = models[i].Capacity(n)
+		}
+	}
+	th, err := js.spec.Workload.Graph.Throughput(rates, caps)
+	if err != nil {
+		return 0, false
+	}
+	return th, true
+}
+
+// gauges publishes the fleet-level metrics after each round.
+func (m *Manager) gauges() {
+	reg := m.reg
+	reg.SetGauge("fleet_admission_queue_depth", float64(len(m.queue)))
+	reg.SetGauge("fleet_running_jobs", float64(len(m.running)))
+	allocated := 0
+	for _, js := range m.running {
+		allocated += js.budget
+		reg.SetGauge(telemetry.Label("fleet_budget_share", "job", js.spec.Name), float64(js.budget))
+		reg.SetGauge(telemetry.Label("fleet_dual_price", "job", js.spec.Name), dualPrice(js.ctrl.Duals()))
+	}
+	reg.SetGauge("fleet_budget_allocated", float64(allocated))
+	reg.SetGauge("fleet_budget_total", float64(m.cfg.TotalTaskBudget))
+}
+
+// dualPrice condenses a job's dual vector into its scalar shadow price:
+// the mean positive multiplier. λ is already normalized to O(1) by
+// osp.Config.ViolationScale, so prices are comparable across jobs of
+// different capacity scales.
+func dualPrice(duals []float64) float64 {
+	if len(duals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, l := range duals {
+		s += math.Max(0, l)
+	}
+	return s / float64(len(duals))
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// needHeadroom pads the utilization-derived demand estimate so ordinary
+// load noise doesn't read as a shrink opportunity.
+const needHeadroom = 1.3
+
+// estimateNeed converts a snapshot into the Σ-tasks allocation the job's
+// measured load actually requires: per operator, tasks × utilization
+// (the DS2-style "true processing requirement") padded with headroom.
+// This — not the job's desired configuration — is the arbiter's shrink
+// signal: a controller camping on its whole budget for GP exploration
+// still *uses* little CPU, and exploration is exactly the spend a
+// shared-budget arbiter should claw back from satisfied tenants.
+func estimateNeed(snap *monitor.Snapshot, maxTasks int) int {
+	need := 0
+	for _, om := range snap.Operators {
+		n := int(math.Ceil(float64(om.Tasks) * om.Util * needHeadroom))
+		if n < 1 {
+			n = 1
+		}
+		if n > maxTasks {
+			n = maxTasks
+		}
+		need += n
+	}
+	return need
+}
+
+// buildStack constructs a newly admitted job's engine, Flink job,
+// monitor, controller (warm-started from the kind archive), and retrier.
+func (m *Manager) buildStack(js *jobState, r int) error {
+	spec := js.spec.Workload
+	rng := stats.NewRNG(m.cfg.Seed + int64(js.idx+1)*100003)
+	peak := peakRate(js.spec.Rates, m.cfg.Slots)
+	var maxBuf float64
+	if m.cfg.MaxBufferSeconds > 0 {
+		maxBuf = m.cfg.MaxBufferSeconds * math.Max(peak, 1)
+	}
+	engine, err := streamsim.New(streamsim.Config{
+		Graph:            spec.Graph,
+		Models:           spec.Models,
+		NoiseSigma:       m.cfg.NoiseSigma,
+		UtilNoiseSigma:   m.cfg.UtilNoiseSigma,
+		MaxBufferPerEdge: maxBuf,
+		RNG:              rng,
+	})
+	if err != nil {
+		return err
+	}
+	initial := js.spec.InitialTasks
+	if initial == nil {
+		initial = make([]int, spec.Graph.NumOperators())
+		for i := range initial {
+			initial[i] = 1
+		}
+	}
+	fj, err := m.session.SubmitJob(js.spec.Name, spec.Graph, engine, initial)
+	if err != nil {
+		return err
+	}
+	fj.SetTracer(m.tracer)
+	mon, err := monitor.New(monitor.DirectSource{Job: fj}, monitor.Config{})
+	if err != nil {
+		return err
+	}
+	mon.SetTracer(m.tracer)
+
+	db, nRecords := m.archive.seed(spec, m.cfg.DisableWarmStart, m.cfg.WarmStartMaxPerOperator)
+	capScale := spec.YMax / 3
+	noiseSD := math.Max(m.cfg.NoiseSigma, 0.02) * capScale
+	ctrl, err := core.New(core.Config{
+		Graph:         spec.Graph,
+		Method:        js.spec.Method,
+		TaskBudget:    js.budget,
+		YMax:          spec.YMax,
+		NoiseVar:      noiseSD * noiseSD,
+		Candidates:    taskCandidates(spec),
+		ForecastAlpha: m.cfg.ForecastAlpha,
+		Counters:      m.cfg.Counters,
+		DB:            db,
+	})
+	if err != nil {
+		return err
+	}
+	if m.tracer != nil {
+		ctrl.SetTracer(m.tracer)
+	}
+	retrier, err := core.NewRescaleRetrier(core.RetryConfig{
+		Retryable: func(err error) bool { return errors.Is(err, chaos.ErrInjected) },
+		Counters:  m.cfg.Counters,
+	})
+	if err != nil {
+		return err
+	}
+	js.ctrl, js.fj, js.mon, js.retrier = ctrl, fj, mon, retrier
+	js.db = db
+	js.harvested = make(map[string]int, spec.Graph.NumOperators())
+	js.usage = sum(initial)
+	js.res.AdmitSlot = r
+	js.res.WarmStarted = nRecords > 0
+	js.res.WarmStartRecords = nRecords
+	return nil
+}
+
+func taskCandidates(spec *workload.Spec) [][][]float64 {
+	grid := make([][]float64, spec.MaxTasks)
+	for n := 1; n <= spec.MaxTasks; n++ {
+		grid[n-1] = []float64{float64(n)}
+	}
+	out := make([][][]float64, spec.Graph.NumOperators())
+	for i := range out {
+		out[i] = grid
+	}
+	return out
+}
+
+func peakRate(f workload.RateFunc, slots int) float64 {
+	var peak float64
+	for s := 0; s < slots; s++ {
+		for _, r := range f(s, 0) {
+			if r > peak {
+				peak = r
+			}
+		}
+	}
+	return peak
+}

@@ -1,0 +1,482 @@
+package fleet
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dragster/internal/chaos"
+	"dragster/internal/telemetry"
+	"dragster/internal/workload"
+)
+
+func mustSpec(t *testing.T, f func() (*workload.Spec, error)) *workload.Spec {
+	t.Helper()
+	s, err := f()
+	if err != nil {
+		t.Fatalf("workload spec: %v", err)
+	}
+	return s
+}
+
+func constRates(t *testing.T, rates []float64) workload.RateFunc {
+	t.Helper()
+	f, err := workload.Constant(rates)
+	if err != nil {
+		t.Fatalf("rates: %v", err)
+	}
+	return f
+}
+
+// threeJobConfig is the canonical mixed fleet: two tenants from round 0
+// (one of which departs mid-run) and a late arrival that warm-starts
+// from the first tenant's history.
+func threeJobConfig(t *testing.T) Config {
+	t.Helper()
+	wc := mustSpec(t, workload.WordCount)
+	gr := mustSpec(t, workload.Group)
+	wc2 := mustSpec(t, workload.WordCount)
+	return Config{
+		Jobs: []JobSpec{
+			{Name: "alpha", Workload: wc, Rates: constRates(t, wc.LowRates)},
+			{Name: "beta", Workload: gr, Rates: constRates(t, gr.LowRates), DepartSlot: 6},
+			{Name: "gamma", Workload: wc2, Rates: constRates(t, wc2.LowRates), ArriveSlot: 4},
+		},
+		Slots:           9,
+		SlotSeconds:     120,
+		Seed:            7,
+		TotalTaskBudget: 24,
+	}
+}
+
+func resultFingerprint(t *testing.T, res *Result) string {
+	t.Helper()
+	// Counters carries a mutex; compare it via its deterministic string
+	// and the rest of the result via JSON.
+	cs := res.Counters.String()
+	res.Counters = nil
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return string(b) + "\n" + cs
+}
+
+func runFleet(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("fleet.Run: %v", err)
+	}
+	return res
+}
+
+// TestFleetDeterministic runs the same mixed fleet twice at one seed and
+// requires byte-identical results — the parallel per-round decide fan-out
+// must not leak scheduling order into any outcome.
+func TestFleetDeterministic(t *testing.T) {
+	a := resultFingerprint(t, runFleet(t, threeJobConfig(t)))
+	b := resultFingerprint(t, runFleet(t, threeJobConfig(t)))
+	if a != b {
+		t.Fatalf("fleet run not deterministic at fixed seed:\nrun1: %.400s\nrun2: %.400s", a, b)
+	}
+}
+
+// TestFleetTracedMatchesUntraced requires the traced (serial-decide) run
+// to produce the same decisions as the untraced (parallel-decide) run:
+// tracing must be observation, never behaviour.
+func TestFleetTracedMatchesUntraced(t *testing.T) {
+	plain := resultFingerprint(t, runFleet(t, threeJobConfig(t)))
+	cfg := threeJobConfig(t)
+	cfg.Tracer = telemetry.NewTracer()
+	traced := resultFingerprint(t, runFleet(t, cfg))
+	if plain != traced {
+		t.Fatalf("traced run diverged from untraced run:\nplain:  %.400s\ntraced: %.400s", plain, traced)
+	}
+}
+
+// TestFleetBudgetInvariant checks the tentpole guarantee: the fleet's
+// effective Σ tasks never exceeds the global budget at any round.
+func TestFleetBudgetInvariant(t *testing.T) {
+	cfg := threeJobConfig(t)
+	res := runFleet(t, cfg)
+	if res.BudgetOverruns != 0 {
+		t.Fatalf("got %d budget overruns, want 0", res.BudgetOverruns)
+	}
+	for r, total := range res.TotalTasksByRound {
+		if total > cfg.TotalTaskBudget {
+			t.Fatalf("round %d: Σ tasks %d > budget %d", r, total, cfg.TotalTaskBudget)
+		}
+	}
+	if got := res.Counters.Get("fleet_budget_overruns"); got != 0 {
+		t.Fatalf("fleet_budget_overruns counter = %d, want 0", got)
+	}
+}
+
+// TestFleetLifecycle checks arrivals, departures, and per-job histories
+// line up with the schedule.
+func TestFleetLifecycle(t *testing.T) {
+	res := runFleet(t, threeJobConfig(t))
+	if len(res.Jobs) != 3 {
+		t.Fatalf("got %d job results, want 3", len(res.Jobs))
+	}
+	byName := map[string]JobResult{}
+	for _, jr := range res.Jobs {
+		byName[jr.Name] = jr
+	}
+	alpha, beta, gamma := byName["alpha"], byName["beta"], byName["gamma"]
+	if alpha.Status != StatusRunning || alpha.AdmitSlot != 0 || len(alpha.Rounds) != 9 {
+		t.Fatalf("alpha: status %v admit %d rounds %d; want running/0/9", alpha.Status, alpha.AdmitSlot, len(alpha.Rounds))
+	}
+	if beta.Status != StatusDeparted || beta.DepartSlot != 6 || len(beta.Rounds) != 6 {
+		t.Fatalf("beta: status %v depart %d rounds %d; want departed/6/6", beta.Status, beta.DepartSlot, len(beta.Rounds))
+	}
+	if gamma.Status != StatusRunning || gamma.AdmitSlot != 4 || len(gamma.Rounds) != 5 {
+		t.Fatalf("gamma: status %v admit %d rounds %d; want running/4/5", gamma.Status, gamma.AdmitSlot, len(gamma.Rounds))
+	}
+	if alpha.Cost <= 0 || beta.Cost <= 0 || gamma.Cost <= 0 {
+		t.Fatalf("every tenant should accrue attributed cost: %v %v %v", alpha.Cost, beta.Cost, gamma.Cost)
+	}
+	if res.ClusterCost <= 0 {
+		t.Fatal("shared cluster accrued no cost")
+	}
+}
+
+// TestFleetWarmStart: gamma shares alpha's workload fingerprint and
+// arrives after alpha has produced history, so it must be seeded; beta's
+// workload is structurally different and must not be.
+func TestFleetWarmStart(t *testing.T) {
+	res := runFleet(t, threeJobConfig(t))
+	var gamma, beta JobResult
+	for _, jr := range res.Jobs {
+		switch jr.Name {
+		case "gamma":
+			gamma = jr
+		case "beta":
+			beta = jr
+		}
+	}
+	if !gamma.WarmStarted || gamma.WarmStartRecords == 0 {
+		t.Fatalf("gamma should warm-start from alpha's archive, got %d records", gamma.WarmStartRecords)
+	}
+	if beta.WarmStarted {
+		t.Fatal("beta has a different workload fingerprint and must not warm-start")
+	}
+
+	cfg := threeJobConfig(t)
+	cfg.DisableWarmStart = true
+	res = runFleet(t, cfg)
+	for _, jr := range res.Jobs {
+		if jr.WarmStarted {
+			t.Fatalf("job %s warm-started with warm-start disabled", jr.Name)
+		}
+	}
+}
+
+// TestFleetAdmissionRejectsImpossibleFloor: a job whose floor exceeds
+// the global budget can never run and is rejected outright.
+func TestFleetAdmissionRejectsImpossibleFloor(t *testing.T) {
+	wc := mustSpec(t, workload.WordCount)
+	cfg := Config{
+		Jobs: []JobSpec{
+			{Name: "giant", Workload: wc, Rates: constRates(t, wc.LowRates)},
+		},
+		Slots:           2,
+		SlotSeconds:     60,
+		TotalTaskBudget: 1, // < floor of 2 operators
+	}
+	res := runFleet(t, cfg)
+	if res.Jobs[0].Status != StatusRejected {
+		t.Fatalf("got status %v, want rejected", res.Jobs[0].Status)
+	}
+	if len(res.Admissions) != 1 || res.Admissions[0].Outcome != "rejected" {
+		t.Fatalf("admission log %+v, want one rejection", res.Admissions)
+	}
+}
+
+// TestFleetAdmissionQueuesUntilCapacity: with a budget that only fits
+// one tenant, the second waits in the queue until the first departs.
+func TestFleetAdmissionQueuesUntilCapacity(t *testing.T) {
+	wc := mustSpec(t, workload.WordCount)
+	gr := mustSpec(t, workload.Group)
+	cfg := Config{
+		Jobs: []JobSpec{
+			{Name: "first", Workload: wc, Rates: constRates(t, wc.LowRates), DepartSlot: 3},
+			{Name: "second", Workload: gr, Rates: constRates(t, gr.LowRates), ArriveSlot: 1},
+		},
+		Slots:           6,
+		SlotSeconds:     60,
+		TotalTaskBudget: 2, // wordcount floor = 2; no room for group's 1 until it departs
+	}
+	res := runFleet(t, cfg)
+	var second JobResult
+	for _, jr := range res.Jobs {
+		if jr.Name == "second" {
+			second = jr
+		}
+	}
+	if second.Status != StatusRunning {
+		t.Fatalf("second job status %v, want running", second.Status)
+	}
+	if second.AdmitSlot != 3 {
+		t.Fatalf("second admitted at %d, want 3 (when first departs)", second.AdmitSlot)
+	}
+	if second.QueuedRounds == 0 {
+		t.Fatal("second should have waited in the queue")
+	}
+	if res.PeakQueueDepth < 1 {
+		t.Fatalf("peak queue depth %d, want ≥ 1", res.PeakQueueDepth)
+	}
+}
+
+// TestFleetDynamicSubmitAndKill drives the manager step by step the way
+// the daemon does: submit a tenant mid-run, then kill it.
+func TestFleetDynamicSubmitAndKill(t *testing.T) {
+	wc := mustSpec(t, workload.WordCount)
+	gr := mustSpec(t, workload.Group)
+	cfg := Config{
+		Jobs: []JobSpec{
+			{Name: "base", Workload: wc, Rates: constRates(t, wc.LowRates)},
+		},
+		Slots:           8,
+		SlotSeconds:     60,
+		TotalTaskBudget: 20,
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := m.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if err := m.Submit(JobSpec{Name: "late", Workload: gr, Rates: constRates(t, gr.LowRates)}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := m.Submit(JobSpec{Name: "late", Workload: gr, Rates: constRates(t, gr.LowRates)}); err == nil {
+		t.Fatal("duplicate submit should fail")
+	}
+	if err := m.Step(); err != nil {
+		t.Fatalf("step after submit: %v", err)
+	}
+	jobs := m.Jobs()
+	if len(jobs) != 2 || jobs[1].Name != "late" || jobs[1].Status != StatusRunning {
+		t.Fatalf("late job not running after submit: %+v", jobs)
+	}
+	if err := m.Kill("late"); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if err := m.Kill("nope"); err == nil {
+		t.Fatal("killing an unknown job should fail")
+	}
+	if err := m.Step(); err != nil {
+		t.Fatalf("step after kill: %v", err)
+	}
+	for _, jr := range m.Jobs() {
+		if jr.Name == "late" && jr.Status != StatusDeparted {
+			t.Fatalf("late job status %v after kill, want departed", jr.Status)
+		}
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run to completion: %v", err)
+	}
+	if res.Slots != 8 || !m.Done() {
+		t.Fatal("manager did not finish its schedule")
+	}
+}
+
+// TestFleetChaosRun: cluster-level chaos (a node crash) must not break
+// the round loop or the budget invariant — lost pods only reduce
+// effective parallelism.
+func TestFleetChaosRun(t *testing.T) {
+	cfg := threeJobConfig(t)
+	spec := chaos.NewSpec("fleet-node-crash")
+	spec.CrashLastNode(3)
+	spec.HealNode(6)
+	cfg.Chaos = spec
+	res := runFleet(t, cfg)
+	if res.BudgetOverruns != 0 {
+		t.Fatalf("chaos run had %d budget overruns, want 0", res.BudgetOverruns)
+	}
+	// Chaos determinism: same seed, same faults, same outcome.
+	cfg2 := threeJobConfig(t)
+	spec2 := chaos.NewSpec("fleet-node-crash")
+	spec2.CrashLastNode(3)
+	spec2.HealNode(6)
+	cfg2.Chaos = spec2
+	a := resultFingerprint(t, res)
+	b := resultFingerprint(t, runFleet(t, cfg2))
+	if a != b {
+		t.Fatal("chaos fleet run not deterministic at fixed seed")
+	}
+}
+
+// TestFleetGauges: fleet-level gauges are published after every round.
+func TestFleetGauges(t *testing.T) {
+	cfg := threeJobConfig(t)
+	cfg.Metrics = telemetry.NewRegistry()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	reg := m.Metrics()
+	if reg != cfg.Metrics {
+		t.Fatal("manager should use the supplied registry")
+	}
+	if v, ok := reg.GaugeValue("fleet_budget_total"); !ok || v != float64(cfg.TotalTaskBudget) {
+		t.Fatalf("fleet_budget_total gauge = %v,%v", v, ok)
+	}
+	if _, ok := reg.GaugeValue(telemetry.Label("fleet_budget_share", "job", "alpha")); !ok {
+		t.Fatal("missing per-job budget share gauge")
+	}
+	if v, ok := reg.GaugeValue("fleet_running_jobs"); !ok || v != 2 {
+		t.Fatalf("fleet_running_jobs = %v,%v, want 2 (beta departed)", v, ok)
+	}
+	if reg.CounterValue("fleet_rounds") != int64(cfg.Slots) {
+		t.Fatalf("fleet_rounds = %d, want %d", reg.CounterValue("fleet_rounds"), cfg.Slots)
+	}
+}
+
+// TestFleetArbiterRespondsToPressure: with one heavily loaded and one
+// lightly loaded tenant under a tight budget, the dual-price arbiter
+// must end up granting the loaded tenant the larger share.
+func TestFleetArbiterRespondsToPressure(t *testing.T) {
+	wc := mustSpec(t, workload.WordCount)
+	gr := mustSpec(t, workload.Group)
+	cfg := Config{
+		Jobs: []JobSpec{
+			{Name: "hot", Workload: wc, Rates: constRates(t, wc.HighRates)},
+			{Name: "cold", Workload: gr, Rates: constRates(t, []float64{2000})},
+		},
+		Slots:           10,
+		SlotSeconds:     120,
+		Seed:            3,
+		TotalTaskBudget: 12,
+		Arbitration:     DualPrice,
+	}
+	res := runFleet(t, cfg)
+	var hot, cold JobResult
+	for _, jr := range res.Jobs {
+		switch jr.Name {
+		case "hot":
+			hot = jr
+		case "cold":
+			cold = jr
+		}
+	}
+	lastHot := hot.Rounds[len(hot.Rounds)-1]
+	lastCold := cold.Rounds[len(cold.Rounds)-1]
+	if lastHot.Budget <= lastCold.Budget {
+		t.Fatalf("dual-price arbiter left hot job budget %d ≤ cold job budget %d",
+			lastHot.Budget, lastCold.Budget)
+	}
+	if len(res.ArbiterDecisions) == 0 {
+		t.Fatal("no arbiter decisions recorded")
+	}
+}
+
+// TestLargestRemainder pins the apportionment helper's determinism and
+// exactness.
+func TestLargestRemainder(t *testing.T) {
+	cases := []struct {
+		total   int
+		weights []float64
+		want    []int
+	}{
+		{10, []float64{1, 1, 1}, []int{4, 3, 3}},      // tie → lowest index first
+		{7, []float64{3, 1}, []int{5, 2}},             // 5.25/1.75 → 5,1 + remainder to idx1
+		{5, []float64{0, 1}, []int{0, 5}},             // zero weight gets nothing
+		{0, []float64{1, 2}, []int{0, 0}},             // nothing to give
+		{3, []float64{2, 2, 2, 2}, []int{1, 1, 1, 0}}, // equal fractions, index order
+		{12, []float64{1, 2, 3}, []int{2, 4, 6}},      // exact proportions
+	}
+	for i, c := range cases {
+		got := largestRemainder(c.total, c.weights, sumF(c.weights))
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: got %v", i, got)
+		}
+		s := 0
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Fatalf("case %d: got %v, want %v", i, got, c.want)
+			}
+			s += got[j]
+		}
+		if c.total > 0 && sumF(c.weights) > 0 && s != c.total {
+			t.Fatalf("case %d: apportioned %d of %d", i, s, c.total)
+		}
+	}
+}
+
+func sumF(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// TestFleetConfigValidation spot-checks the config guard rails.
+func TestFleetConfigValidation(t *testing.T) {
+	wc := mustSpec(t, workload.WordCount)
+	ok := func() Config {
+		return Config{
+			Jobs:            []JobSpec{{Name: "a", Workload: wc, Rates: constRates(t, wc.LowRates)}},
+			Slots:           1,
+			TotalTaskBudget: 10,
+		}
+	}
+	if _, err := New(ok()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Jobs = nil },
+		func(c *Config) { c.Jobs = append(c.Jobs, c.Jobs[0]) }, // duplicate name
+		func(c *Config) { c.Slots = 0 },
+		func(c *Config) { c.TotalTaskBudget = 0 },
+		func(c *Config) { c.Jobs[0].Name = "" },
+		func(c *Config) { c.Jobs[0].Rates = nil },
+		func(c *Config) { c.Jobs[0].DepartSlot = 1; c.Jobs[0].ArriveSlot = 2 },
+		func(c *Config) { c.Jobs[0].Priority = -1 },
+		func(c *Config) { c.RebalanceEvery = -1 },
+		func(c *Config) { c.ForecastAlpha = 1.5 },
+	}
+	for i, mutate := range bad {
+		cfg := ok()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestFingerprint pins the compatibility rule: same structure → same
+// key; different grid bound or name → different key.
+func TestFingerprint(t *testing.T) {
+	a := mustSpec(t, workload.WordCount)
+	b := mustSpec(t, workload.WordCount)
+	if fingerprint(a) != fingerprint(b) {
+		t.Fatal("identical specs must share a fingerprint")
+	}
+	c := mustSpec(t, workload.WordCount)
+	c.MaxTasks = 5
+	if fingerprint(a) == fingerprint(c) {
+		t.Fatal("different grid bounds must not share a fingerprint")
+	}
+	d := mustSpec(t, workload.Group)
+	if fingerprint(a) == fingerprint(d) {
+		t.Fatal("different workloads must not share a fingerprint")
+	}
+	if !strings.HasPrefix(fingerprint(a), "wordcount|") {
+		t.Fatalf("fingerprint should lead with the workload name: %q", fingerprint(a))
+	}
+}

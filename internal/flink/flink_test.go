@@ -5,6 +5,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"dragster/internal/cluster"
@@ -95,9 +96,35 @@ func TestSubmitJobCreatesDeployments(t *testing.T) {
 	if len(want) != 0 {
 		t.Errorf("missing deployments: %v", want)
 	}
-	// Second job in the same session is rejected.
-	if _, err := s.SubmitJob("again", j.Graph(), newEngine(t, j.Graph(), 10), []int{1, 1}); err == nil {
-		t.Error("second job accepted")
+	// A duplicate job name is rejected; a distinct name is hosted alongside.
+	if _, err := s.SubmitJob("wordcount", j.Graph(), newEngine(t, j.Graph(), 10), []int{1, 1}); err == nil {
+		t.Error("duplicate job name accepted")
+	}
+	j2, err := s.SubmitJob("tenant2", j.Graph(), newEngine(t, j.Graph(), 10), []int{1, 1})
+	if err != nil {
+		t.Fatalf("second job rejected: %v", err)
+	}
+	if got := len(s.Jobs()); got != 2 {
+		t.Fatalf("Jobs() = %d jobs, want 2", got)
+	}
+	if _, ok := s.Job("tenant2"); !ok {
+		t.Error("Job(tenant2) not found")
+	}
+	// Cancelling deletes the tenant's TaskManager deployments only.
+	if err := s.CancelJob("tenant2"); err != nil {
+		t.Fatal(err)
+	}
+	for _, dep := range s.Cluster().Deployments() {
+		if strings.HasPrefix(dep, "tm-tenant2-") {
+			t.Errorf("deployment %q survived CancelJob", dep)
+		}
+	}
+	if _, ok := s.Job("tenant2"); ok {
+		t.Error("cancelled job still listed")
+	}
+	_ = j2
+	if err := s.CancelJob("tenant2"); err == nil {
+		t.Error("double cancel accepted")
 	}
 }
 

@@ -33,8 +33,12 @@ func (h *RESTHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case strings.HasPrefix(path, "/jobs/"):
 		rest := strings.TrimPrefix(path, "/jobs/")
 		parts := strings.Split(rest, "/")
-		job := h.session.job
-		if job == nil || len(parts) == 0 || parts[0] != job.name {
+		if len(parts) == 0 {
+			http.Error(w, "job not found", http.StatusNotFound)
+			return
+		}
+		job, ok := h.session.jobs[parts[0]]
+		if !ok {
 			http.Error(w, "job not found", http.StatusNotFound)
 			return
 		}
@@ -58,8 +62,8 @@ func (h *RESTHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (h *RESTHandler) listJobs(w http.ResponseWriter) {
 	names := []string{}
-	if h.session.job != nil {
-		names = append(names, h.session.job.name)
+	for _, j := range h.session.Jobs() {
+		names = append(names, j.name)
 	}
 	writeJSON(w, map[string][]string{"jobs": names})
 }

@@ -39,11 +39,15 @@ func DefaultOptions() Options {
 	}
 }
 
-// SessionCluster hosts one Flink job on a Kubernetes cluster.
+// SessionCluster hosts Flink jobs on a Kubernetes cluster. The paper's
+// per-application deployments submit exactly one job; the fleet control
+// plane (internal/fleet) submits several against one shared cluster and
+// cancels them as tenants come and go.
 type SessionCluster struct {
-	k8s  *cluster.Cluster
-	opts Options
-	job  *Job
+	k8s      *cluster.Cluster
+	opts     Options
+	jobs     map[string]*Job
+	jobOrder []string // submission order, for deterministic listings
 }
 
 // NewSession creates the session cluster and its JobManager deployment.
@@ -66,11 +70,14 @@ func NewSession(k8s *cluster.Cluster, opts Options) (*SessionCluster, error) {
 	if k8s.RunningPods("flink-jobmanager") != 1 {
 		return nil, errors.New("flink: cluster cannot schedule the JobManager pod")
 	}
-	return &SessionCluster{k8s: k8s, opts: opts}, nil
+	return &SessionCluster{k8s: k8s, opts: opts, jobs: make(map[string]*Job)}, nil
 }
 
 // Cluster returns the underlying Kubernetes cluster.
 func (s *SessionCluster) Cluster() *cluster.Cluster { return s.k8s }
+
+// Options returns the session's pod templates and rescale costs.
+func (s *SessionCluster) Options() Options { return s.opts }
 
 // ChaosHooks is the Flink-side fault-injection surface. A chaos engine
 // installs one via Job.SetChaosHooks; with none installed every hook site
@@ -113,12 +120,13 @@ func (j *Job) SetChaosHooks(h ChaosHooks) { j.hooks = h }
 func (j *Job) SetTracer(tr *telemetry.Tracer) { j.tracer = tr }
 
 // SubmitJob deploys a job: one TaskManager deployment per operator with
-// the initial parallelism, wired to the supplied simulation engine. A
-// session hosts at most one job (matching the paper's per-application
-// session clusters).
+// the initial parallelism, wired to the supplied simulation engine. Job
+// names must be unique within the session; the single-job case matches
+// the paper's per-application session clusters, and the fleet manager
+// submits several.
 func (s *SessionCluster) SubmitJob(name string, g *dag.Graph, engine *streamsim.Engine, initial []int) (*Job, error) {
-	if s.job != nil {
-		return nil, fmt.Errorf("flink: session already hosts job %q", s.job.name)
+	if _, ok := s.jobs[name]; ok {
+		return nil, fmt.Errorf("flink: session already hosts job %q", name)
 	}
 	if g == nil || engine == nil {
 		return nil, errors.New("flink: nil graph or engine")
@@ -147,8 +155,51 @@ func (s *SessionCluster) SubmitJob(name string, g *dag.Graph, engine *streamsim.
 	if err := j.syncEngineTasks(); err != nil {
 		return nil, err
 	}
-	s.job = j
+	s.jobs[name] = j
+	s.jobOrder = append(s.jobOrder, name)
 	return j, nil
+}
+
+// Job returns the named job, if the session hosts it.
+func (s *SessionCluster) Job(name string) (*Job, bool) {
+	j, ok := s.jobs[name]
+	return j, ok
+}
+
+// Jobs returns the hosted jobs in submission order.
+func (s *SessionCluster) Jobs() []*Job {
+	out := make([]*Job, 0, len(s.jobOrder))
+	for _, name := range s.jobOrder {
+		if j, ok := s.jobs[name]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// CancelJob stops a job and deletes its TaskManager deployments, freeing
+// the cluster capacity for other tenants. The Job handle becomes invalid
+// for further RunSlot/Rescale calls.
+func (s *SessionCluster) CancelJob(name string) error {
+	j, ok := s.jobs[name]
+	if !ok {
+		return fmt.Errorf("flink: unknown job %q", name)
+	}
+	for _, dep := range j.deployments {
+		if err := s.k8s.DeleteDeployment(dep); err != nil {
+			return err
+		}
+	}
+	delete(s.jobs, name)
+	for i, n := range s.jobOrder {
+		if n == name {
+			s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+			break
+		}
+	}
+	j.tracer.Event("flink", "cancel_job", telemetry.Str("job", name))
+	j.tracer.Metrics().Inc("flink_jobs_cancelled")
+	return nil
 }
 
 func deploymentName(job, op string) string {
@@ -301,6 +352,19 @@ type SlotReport = telemetry.SlotReport
 // returns the slot report. It also feeds per-pod CPU usage to the
 // Kubernetes metrics server so HPA/VPA and the Job Monitor see live data.
 func (j *Job) RunSlot(seconds int, rateAt func(sec int) []float64) (*SlotReport, error) {
+	return j.runSlot(seconds, rateAt, true)
+}
+
+// RunSlotDetached is RunSlot without advancing the shared cluster clock.
+// When several jobs co-simulate one decision slot against one cluster
+// (internal/fleet), exactly one participant may tick the cluster — every
+// tick accrues cost for *all* running pods — so the fleet manager
+// designates one clock owner per round and runs the rest detached.
+func (j *Job) RunSlotDetached(seconds int, rateAt func(sec int) []float64) (*SlotReport, error) {
+	return j.runSlot(seconds, rateAt, false)
+}
+
+func (j *Job) runSlot(seconds int, rateAt func(sec int) []float64, tickCluster bool) (*SlotReport, error) {
 	// Re-sync the dataflow with the pods that are actually Running: node
 	// failures or freed capacity between slots change the effective
 	// parallelism without a Rescale call.
@@ -330,7 +394,9 @@ func (j *Job) RunSlot(seconds int, rateAt func(sec int) []float64) (*SlotReport,
 		if err := j.reportPodUsage(st.Ops); err != nil {
 			return nil, err
 		}
-		j.session.k8s.Tick(1)
+		if tickCluster {
+			j.session.k8s.Tick(1)
+		}
 	}
 	names := make([]string, j.graph.NumOperators())
 	for i := range names {

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLabelEncodesAndEscapes(t *testing.T) {
+	if got := Label("fleet_budget_share", "job", "alpha"); got != `fleet_budget_share{job="alpha"}` {
+		t.Errorf("Label = %q", got)
+	}
+	got := Label("m", "k", "a\\b\"c\nd")
+	if want := `m{k="a\\b\"c\nd"}`; got != want {
+		t.Errorf("escaped Label = %q, want %q", got, want)
+	}
+	if got := baseName(`fleet_budget_share{job="alpha"}`); got != "fleet_budget_share" {
+		t.Errorf("baseName = %q", got)
+	}
+	if got := baseName("plain"); got != "plain" {
+		t.Errorf("baseName(plain) = %q", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add("fleet_rounds", 4)
+	reg.SetGauge("fleet_budget_total", 20)
+	reg.SetGauge(Label("fleet_budget_share", "job", "alpha"), 8)
+	reg.SetGauge(Label("fleet_budget_share", "job", "beta"), 12)
+	if err := reg.DefineHistogram("decide_ms", []float64{1, 10}); err != nil {
+		t.Fatal(err)
+	}
+	reg.Observe("decide_ms", 0.5)
+	reg.Observe("decide_ms", 5)
+	reg.Observe("decide_ms", 50)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE fleet_rounds counter\nfleet_rounds 4\n",
+		"# TYPE fleet_budget_total gauge\nfleet_budget_total 20\n",
+		// One TYPE line shared by both labelled series.
+		"# TYPE fleet_budget_share gauge\nfleet_budget_share{job=\"alpha\"} 8\nfleet_budget_share{job=\"beta\"} 12\n",
+		// Cumulative le buckets.
+		"# TYPE decide_ms histogram\n",
+		"decide_ms_bucket{le=\"1\"} 1\n",
+		"decide_ms_bucket{le=\"10\"} 2\n",
+		"decide_ms_bucket{le=\"+Inf\"} 3\n",
+		"decide_ms_sum 55.5\n",
+		"decide_ms_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE fleet_budget_share"); n != 1 {
+		t.Errorf("TYPE line for labelled family appears %d times", n)
+	}
+
+	// Deterministic: a second render is byte-identical.
+	var sb2 strings.Builder
+	if err := WritePrometheus(&sb2, reg); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("nil registry rendered %q", sb.String())
+	}
+}
