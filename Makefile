@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-snapshot fuzz-smoke lint repro repro-quick examples clean
+.PHONY: all build test race cover bench bench-snapshot fuzz-smoke lint lint-sarif repro repro-quick examples clean
 
 all: build test lint
 
@@ -11,12 +11,24 @@ build:
 	$(GO) vet ./...
 
 # Static-analysis suite (internal/analysis): simclock, detrand, maporder,
-# errflow, chaoshook — the determinism, error-handling, and fault-model
-# invariants. Runs through
-# `go vet -vettool` so analyzers see build-accurate type information.
+# errflow, chaoshook, fleethook, hotpath, goroutine, lockorder — the
+# determinism, error-handling, fault-model, allocation, and concurrency
+# invariants. Runs through `go vet -vettool` so analyzers see
+# build-accurate type information. See DESIGN.md "Static analysis".
 lint:
 	$(GO) build -o bin/dragsterlint ./cmd/dragsterlint
 	$(GO) vet -vettool=$(CURDIR)/bin/dragsterlint ./...
+
+# Same run in SARIF: cmd/go echoes each package's tool output on stderr,
+# so the stream is captured there and merged into one SARIF 2.1.0 file
+# (dragsterlint.sarif) for CI artifact upload / code-scanning import.
+# The text-mode `lint` target stays the gate; this one always exits 0
+# per package and reports through the document instead.
+lint-sarif:
+	$(GO) build -o bin/dragsterlint ./cmd/dragsterlint
+	$(GO) vet -vettool=$(CURDIR)/bin/dragsterlint -sarif ./... 2> lint.stream
+	bin/dragsterlint -merge-sarif lint.stream > dragsterlint.sarif
+	rm -f lint.stream
 
 test:
 	$(GO) test ./...

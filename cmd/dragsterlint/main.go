@@ -1,7 +1,8 @@
 // Command dragsterlint runs the project's static-analysis suite
-// (internal/analysis): simclock, detrand, maporder, errflow, and
-// chaoshook — the machine-enforced determinism, error-handling, and
-// fault-model invariants the reproduction depends on.
+// (internal/analysis): simclock, detrand, maporder, errflow, chaoshook,
+// fleethook, hotpath, goroutine, and lockorder — the machine-enforced
+// determinism, error-handling, fault-model, allocation, and concurrency
+// invariants the reproduction depends on.
 //
 // It speaks the `go vet` unit-checker protocol, so the supported way to
 // run it is through the go tool, which supplies per-package type
@@ -14,6 +15,21 @@
 // Suppress a single finding with a trailing or preceding comment:
 //
 //	//lint:allow <rule> <reason>
+//
+// The reason is mandatory: a bare //lint:allow suppresses nothing and is
+// itself diagnosed, as is a reasoned allow that no longer matches any
+// finding of an analyzer in the run.
+//
+// Machine-readable output: -json emits the x/tools vet-JSON shape and
+// -sarif one SARIF 2.1.0 document per package (both on stdout, exit 0 —
+// text mode stays the gate). `go vet` relays tool output on its stderr,
+// so a whole-module -sarif stream is captured from there and folded into
+// a single document with
+//
+//	go vet -vettool=bin/dragsterlint -sarif ./... 2> lint.stream
+//	bin/dragsterlint -merge-sarif lint.stream > dragsterlint.sarif
+//
+// or `make lint-sarif`.
 package main
 
 import (

@@ -75,6 +75,9 @@ func All() []*Analyzer {
 		ErrflowAnalyzer(),
 		ChaoshookAnalyzer(),
 		FleethookAnalyzer(),
+		HotpathAnalyzer(),
+		GoroutineAnalyzer(),
+		LockorderAnalyzer(),
 	}
 }
 
@@ -106,13 +109,15 @@ func ByName(names []string) ([]*Analyzer, error) {
 }
 
 // RunSuite runs the analyzers over the pass, drops suppressed findings
-// (//lint:allow), and returns the survivors sorted by position.
+// (//lint:allow), appends the suppression-hygiene diagnostics (reasonless
+// and stale allow directives), and returns the survivors sorted by
+// position.
 func RunSuite(pass *Pass, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		diags = append(diags, a.Run(pass)...)
 	}
-	diags = filterSuppressed(pass, diags)
+	diags = filterSuppressed(pass, diags, analyzers)
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Pos != diags[j].Pos {
 			return diags[i].Pos < diags[j].Pos

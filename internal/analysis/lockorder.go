@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockorderAnalyzer builds a per-package lock-acquisition graph from
+// sync.Mutex / sync.RWMutex call sites and diagnoses inconsistent
+// pairwise ordering: if one function acquires A then B while another
+// acquires B then A, the two interleaved can deadlock. Ahead of the
+// multi-shard arbiter refactor this pins a single global order per
+// package before cross-shard locking exists.
+//
+// Locks are identified structurally: `x.mu.Lock()` keys on the named
+// type of x plus the field name ("Cluster.mu"), an embedded
+// `x.Lock()` keys on the named type of x, and a plain `mu.Lock()` keys
+// on the variable's qualified name. The analysis is intraprocedural and
+// lexical — a lock passed through a call boundary is out of scope (and
+// out of idiom for this repo, where every mutex guards one struct).
+func LockorderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc: "diagnose inconsistent pairwise mutex acquisition order within a " +
+			"package (A held while taking B in one function, B held while " +
+			"taking A in another): pick one global lock order",
+		Run: runLockorder,
+	}
+}
+
+// lockEdge records "from held while acquiring to" at pos.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	fn       string
+}
+
+func runLockorder(pass *Pass) []Diagnostic {
+	if !inModule(pass) {
+		return nil
+	}
+	var edges []lockEdge
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			edges = append(edges, lockEdgesIn(pass, fd)...)
+		}
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+	// Index ordered pairs, then report every edge whose reverse also
+	// exists. Both directions are reported so each function involved in
+	// the inversion gets a diagnostic at its own acquisition site.
+	first := make(map[[2]string]lockEdge)
+	for _, e := range edges {
+		k := [2]string{e.from, e.to}
+		if prev, ok := first[k]; !ok || e.pos < prev.pos {
+			first[k] = e
+		}
+	}
+	var diags []Diagnostic
+	seen := make(map[[2]string]bool)
+	for _, e := range edges {
+		rev, ok := first[[2]string{e.to, e.from}]
+		if !ok {
+			continue
+		}
+		k := [2]string{e.from, e.to}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		diags = append(diags, Diagnostic{
+			Pos:  e.pos,
+			Rule: "lockorder",
+			Message: fmt.Sprintf("%s acquired while holding %s in %s, but %s reverses the "+
+				"order at %s; pick one global lock order",
+				e.to, e.from, e.fn, rev.fn, pass.Fset.Position(rev.pos)),
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+// lockEdgesIn walks one function body in lexical order, tracking held
+// locks and recording an edge for every acquisition made while another
+// lock is held. Deferred unlocks hold to function end (their window is
+// exactly what matters for ordering); block-structured Lock/Unlock pairs
+// release in place. Closures are walked as their own lexical context —
+// they run at an unknown time, so locks held at the go/assignment site
+// are not assumed held inside.
+func lockEdgesIn(pass *Pass, fd *ast.FuncDecl) []lockEdge {
+	return lockEdgesInBlock(pass, fd.Body, fd.Name.Name)
+}
+
+func lockEdgesInBlock(pass *Pass, body *ast.BlockStmt, fn string) []lockEdge {
+	var edges []lockEdge
+	var held []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			return false
+		case *ast.FuncLit:
+			edges = append(edges, lockEdgesInBlock(pass, n.Body, fn)...)
+			return false
+		case *ast.CallExpr:
+			key, op, ok := lockOp(pass, n)
+			if !ok {
+				return true
+			}
+			switch op {
+			case "Lock", "RLock":
+				for _, h := range held {
+					if h != key {
+						edges = append(edges, lockEdge{from: h, to: key, pos: n.Pos(), fn: fn})
+					}
+				}
+				held = append(held, key)
+			case "Unlock", "RUnlock":
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == key {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+	return edges
+}
+
+// lockOp matches a call to (R)Lock/(R)Unlock on a sync.Mutex or
+// sync.RWMutex and returns the lock's structural key.
+func lockOp(pass *Pass, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return lockKey(pass, sel.X), op, true
+}
+
+// lockKey names the mutex operand: Owner.field for a struct-held mutex,
+// the named type for an embedded one, the qualified variable name for a
+// package-level or local mutex, and a source-ish fallback otherwise.
+func lockKey(pass *Pass, operand ast.Expr) string {
+	switch x := ast.Unparen(operand).(type) {
+	case *ast.SelectorExpr:
+		// c.mu → type-of(c).fieldname; drop pointers.
+		if owner := namedTypeName(pass.Info.TypeOf(x.X)); owner != "" {
+			return owner + "." + x.Sel.Name
+		}
+		return exprString(x)
+	case *ast.Ident:
+		// Embedded mutex (x.Lock() with x a struct) keys on the type;
+		// a bare mutex variable keys on its name.
+		if t := pass.Info.TypeOf(x); t != nil {
+			if name := namedTypeName(t); name != "" && !isMutexType(t) {
+				return name
+			}
+		}
+		return x.Name
+	default:
+		return exprString(operand)
+	}
+}
+
+// namedTypeName returns the name of t's named type, through pointers.
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestLockorderFixture(t *testing.T) {
+	runFixture(t, "dragster/internal/lockorderbad", LockorderAnalyzer())
+}

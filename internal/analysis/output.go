@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Machine-readable diagnostic output. Two formats:
+//
+//   - -json mirrors golang.org/x/tools unitchecker's shape — one
+//     {"<pkg>": {"<rule>": [{posn, message}]}} object per package — so
+//     existing vet-JSON consumers work unchanged.
+//   - -sarif emits one SARIF 2.1.0 document per package on stdout.
+//
+// `go vet` runs the tool once per package and concatenates stdout, so a
+// whole-module run produces a stream of JSON documents. The -merge-sarif
+// mode turns such a stream (either format) back into a single valid
+// SARIF file for CI upload:
+//
+//	go vet -vettool=bin/dragsterlint -sarif ./... > lint.stream
+//	bin/dragsterlint -merge-sarif lint.stream > dragsterlint.sarif
+//
+// In either machine mode the per-package exit code is 0 even with
+// findings — the consumer decides; the text mode stays the CI gate.
+
+// jsonDiagnostic is one finding in -json output.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// sarif* model the subset of SARIF 2.1.0 this tool emits. Field presence
+// follows the spec's minimum for a result with a physical location.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	ShortDescription sarifMultiMessage `json:"shortDescription"`
+}
+
+type sarifMultiMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+const sarifSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// writeJSON emits the x/tools-compatible per-package JSON object.
+func writeJSON(w io.Writer, pkgID string, fset *token.FileSet, diags []Diagnostic) error {
+	byRule := make(map[string][]jsonDiagnostic)
+	for _, d := range diags {
+		byRule[d.Rule] = append(byRule[d.Rule], jsonDiagnostic{
+			Posn:    fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiagnostic{pkgID: byRule}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
+}
+
+// writeSARIF emits one SARIF 2.1.0 document for the package's findings.
+// Paths are made repo-relative when possible so CI annotation maps them
+// onto the checkout.
+func writeSARIF(w io.Writer, analyzers []*Analyzer, fset *token.FileSet, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(sarifFor(analyzers, fset, diags))
+}
+
+func sarifFor(analyzers []*Analyzer, fset *token.FileSet, diags []Diagnostic) sarifLog {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMultiMessage{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{ID: "suppress", ShortDescription: sarifMultiMessage{
+		Text: "suppression hygiene: //lint:allow directives must carry a reason and suppress something"}})
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		results = append(results, sarifResult{
+			RuleID:  d.Rule,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: relativeURI(pos.Filename)},
+				Region:           sarifRegion{StartLine: pos.Line, StartColumn: pos.Column},
+			}}},
+		})
+	}
+	return sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "dragsterlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+// relativeURI rewrites a filename relative to the module root so CI
+// annotation maps it onto the checkout. `go vet` runs the tool from the
+// package directory, not the module root, so the root is found by
+// walking up from the working directory to the nearest go.mod; paths
+// outside it fall back to slash form unchanged.
+func relativeURI(filename string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return filepath.ToSlash(filename)
+	}
+	if !filepath.IsAbs(filename) {
+		filename = filepath.Join(wd, filename)
+	}
+	for dir := wd; ; {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			if rel, err := filepath.Rel(dir, filename); err == nil && !strings.HasPrefix(rel, "..") {
+				return filepath.ToSlash(rel)
+			}
+			break
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			break
+		}
+		dir = parent
+	}
+	return filepath.ToSlash(filename)
+}
+
+// MergeSARIF reads a concatenated stream of SARIF documents — the
+// output of a -sarif whole-module vet run — and writes one merged
+// document with a single run: the union of rules, the concatenation of
+// results, in input order. cmd/go echoes each package's tool output on
+// its own stderr prefixed with `# <package>` comment lines, so lines
+// starting with '#' are skipped (the tab-indented documents this tool
+// emits never start a line with one).
+func MergeSARIF(r io.Reader, w io.Writer) error {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("merge-sarif: %v", err)
+	}
+	lines := strings.Split(string(raw), "\n")
+	kept := lines[:0]
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "#") {
+			kept = append(kept, l)
+		}
+	}
+	dec := json.NewDecoder(strings.NewReader(strings.Join(kept, "\n")))
+	rules := []sarifRule{}
+	haveRule := make(map[string]bool)
+	results := []sarifResult{} // non-nil: an all-clean run merges to "results": []
+	n := 0
+	for {
+		var doc sarifLog
+		if err := dec.Decode(&doc); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("merge-sarif: document %d: %v", n+1, err)
+		}
+		n++
+		if doc.Version != "2.1.0" {
+			return fmt.Errorf("merge-sarif: document %d: version %q, want 2.1.0", n, doc.Version)
+		}
+		for _, run := range doc.Runs {
+			for _, rule := range run.Tool.Driver.Rules {
+				if !haveRule[rule.ID] {
+					haveRule[rule.ID] = true
+					rules = append(rules, rule)
+				}
+			}
+			results = append(results, run.Results...)
+		}
+	}
+	sort.SliceStable(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	merged := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "dragsterlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(merged)
+}

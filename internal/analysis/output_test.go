@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixtureDiags runs the given analyzers over a fixture package and
+// returns the pass and surviving diagnostics.
+func fixtureDiags(t *testing.T, pkgPath string, analyzers []*Analyzer) (*Pass, []Diagnostic) {
+	t.Helper()
+	pass, err := newFixtureLoader().load(pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pass, RunSuite(pass, analyzers)
+}
+
+var posnRE = regexp.MustCompile(`\.go:\d+:\d+$`)
+
+func TestWriteJSONShape(t *testing.T) {
+	pass, diags := fixtureDiags(t, "dragster/internal/simclockbad", []*Analyzer{SimclockAnalyzer()})
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, "dragster/internal/simclockbad", pass.Fset, diags); err != nil {
+		t.Fatal(err)
+	}
+	// x/tools vet-json shape: {"<pkg>": {"<rule>": [{posn, message}]}}.
+	var decoded map[string]map[string][]struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	byRule, ok := decoded["dragster/internal/simclockbad"]
+	if !ok || len(decoded) != 1 {
+		t.Fatalf("top-level keys = %v, want exactly the package ID", keysOf(decoded))
+	}
+	n := 0
+	for rule, ds := range byRule {
+		if rule == "" {
+			t.Error("empty rule key")
+		}
+		for _, d := range ds {
+			n++
+			if !posnRE.MatchString(d.Posn) {
+				t.Errorf("posn %q does not end in file.go:line:col", d.Posn)
+			}
+			if d.Message == "" {
+				t.Error("empty message")
+			}
+		}
+	}
+	if n != len(diags) {
+		t.Errorf("JSON carries %d findings, run produced %d", n, len(diags))
+	}
+}
+
+func keysOf[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// validateSARIF structurally checks a SARIF 2.1.0 document decoded from
+// raw JSON: the schema/version pair, tool identity, rule references, and
+// physical locations — the subset CI annotation consumes.
+func validateSARIF(t *testing.T, raw []byte) (results int) {
+	t.Helper()
+	var doc struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("SARIF is not valid JSON: %v\n%s", err, raw)
+	}
+	if doc.Schema != sarifSchemaURI {
+		t.Errorf("$schema = %q, want %q", doc.Schema, sarifSchemaURI)
+	}
+	if doc.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", doc.Version)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "dragsterlint" {
+		t.Errorf("driver name = %q, want dragsterlint", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDescription.Text == "" {
+			t.Errorf("rule %+v missing id or shortDescription", r)
+		}
+		if ruleIDs[r.ID] {
+			t.Errorf("duplicate rule id %q", r.ID)
+		}
+		ruleIDs[r.ID] = true
+	}
+	for _, res := range run.Results {
+		if !ruleIDs[res.RuleID] {
+			t.Errorf("result ruleId %q not declared in driver rules", res.RuleID)
+		}
+		if res.Level != "error" {
+			t.Errorf("result level = %q, want error", res.Level)
+		}
+		if res.Message.Text == "" {
+			t.Error("result with empty message")
+		}
+		if len(res.Locations) != 1 {
+			t.Errorf("result has %d locations, want 1", len(res.Locations))
+			continue
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || strings.Contains(loc.ArtifactLocation.URI, "\\") {
+			t.Errorf("artifact uri %q must be non-empty and slash-separated", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine < 1 {
+			t.Errorf("startLine %d < 1", loc.Region.StartLine)
+		}
+	}
+	return len(run.Results)
+}
+
+func TestWriteSARIFValidates(t *testing.T) {
+	pass, diags := fixtureDiags(t, "dragster/internal/simclockbad", []*Analyzer{SimclockAnalyzer()})
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, All(), pass.Fset, diags); err != nil {
+		t.Fatal(err)
+	}
+	if got := validateSARIF(t, buf.Bytes()); got != len(diags) {
+		t.Errorf("SARIF carries %d results, run produced %d", got, len(diags))
+	}
+	// URIs must be module-root-relative (CI maps them onto the checkout),
+	// even though this test — like `go vet` — runs from a subdirectory.
+	if !strings.Contains(buf.String(), `"uri": "internal/analysis/testdata/`) {
+		t.Errorf("SARIF artifact URIs are not repo-relative:\n%s", buf.String())
+	}
+}
+
+// TestMergeSARIF concatenates two per-package documents — the way `go
+// vet` concatenates per-package stdout — and checks the merge is one
+// valid document with deduplicated rules and all results.
+func TestMergeSARIF(t *testing.T) {
+	passA, diagsA := fixtureDiags(t, "dragster/internal/simclockbad", []*Analyzer{SimclockAnalyzer()})
+	passB, diagsB := fixtureDiags(t, "dragster/internal/detrandbad", []*Analyzer{DetrandAnalyzer()})
+	if len(diagsA) == 0 || len(diagsB) == 0 {
+		t.Fatalf("fixtures produced %d and %d diagnostics; both must fire", len(diagsA), len(diagsB))
+	}
+
+	// Interleave the `# <package>` comment lines cmd/go prints around each
+	// package's tool output: the merge must skip them.
+	var stream bytes.Buffer
+	stream.WriteString("# dragster/internal/simclockbad\n")
+	if err := writeSARIF(&stream, All(), passA.Fset, diagsA); err != nil {
+		t.Fatal(err)
+	}
+	stream.WriteString("# dragster/internal/detrandbad\n# [dragster/internal/detrandbad]\n")
+	if err := writeSARIF(&stream, All(), passB.Fset, diagsB); err != nil {
+		t.Fatal(err)
+	}
+
+	var merged bytes.Buffer
+	if err := MergeSARIF(&stream, &merged); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one document comes out.
+	dec := json.NewDecoder(bytes.NewReader(merged.Bytes()))
+	var first json.RawMessage
+	if err := dec.Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		t.Fatalf("merged output holds more than one document (err %v)", err)
+	}
+	if got := validateSARIF(t, merged.Bytes()); got != len(diagsA)+len(diagsB) {
+		t.Errorf("merged results = %d, want %d", got, len(diagsA)+len(diagsB))
+	}
+}
+
+func TestMergeSARIFRejectsWrongVersion(t *testing.T) {
+	in := strings.NewReader(`{"$schema":"x","version":"2.0.0","runs":[]}`)
+	if err := MergeSARIF(in, io.Discard); err == nil {
+		t.Fatal("MergeSARIF accepted a non-2.1.0 document")
+	}
+}

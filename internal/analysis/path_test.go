@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// Pass.Path() must strip the " [pkg.test]" suffix cmd/go appends to
+// test-variant compilations: allowlists and the module gate are keyed by
+// real import paths, and `go vet` type-checks every package twice (plain
+// and test variant) when _test.go files exist. A regression here makes
+// every allowlisted package light up — but only under `go vet ./...`,
+// never in unit tests — so this is pinned explicitly.
+
+const pathVariantSrc = `package p
+
+import "time"
+
+func F() time.Time { return time.Now() }
+`
+
+// checkVariant type-checks the probe source under the given package path
+// (which may carry a test-variant suffix) and returns its Pass.
+func checkVariant(t *testing.T, pkgPath string) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", pathVariantSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := newTypesInfo()
+	pkg, err := conf.Check(pkgPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+}
+
+func TestPathStripsTestVariant(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"dragster/internal/streamsim", "dragster/internal/streamsim"},
+		{"dragster/internal/streamsim [dragster/internal/streamsim.test]", "dragster/internal/streamsim"},
+		{"dragster/internal/daemon [dragster/internal/daemon.test]", "dragster/internal/daemon"},
+	}
+	for _, c := range cases {
+		pass := checkVariant(t, c.in)
+		if got := pass.Path(); got != c.want {
+			t.Errorf("Path() for %q = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestTestVariantBehavesLikePlainPackage runs the suite over the same
+// source type-checked as "pkg" and as "pkg [pkg.test]" and requires
+// identical diagnostics — both for a flagged package and for an
+// allowlisted one.
+func TestTestVariantBehavesLikePlainPackage(t *testing.T) {
+	run := func(pkgPath string) []Diagnostic {
+		return RunSuite(checkVariant(t, pkgPath), []*Analyzer{SimclockAnalyzer()})
+	}
+
+	plain := run("dragster/internal/streamsim")
+	variant := run("dragster/internal/streamsim [dragster/internal/streamsim.test]")
+	if len(plain) != 1 {
+		t.Fatalf("plain streamsim path: got %d diagnostics, want 1 (time.Now)", len(plain))
+	}
+	if len(variant) != len(plain) || variant[0].Rule != plain[0].Rule || variant[0].Message != plain[0].Message {
+		t.Errorf("test variant diverged from plain package:\nplain:   %+v\nvariant: %+v", plain, variant)
+	}
+
+	if diags := run("dragster/internal/daemon"); len(diags) != 0 {
+		t.Errorf("allowlisted daemon package flagged: %v", diags)
+	}
+	if diags := run("dragster/internal/daemon [dragster/internal/daemon.test]"); len(diags) != 0 {
+		t.Errorf("allowlisted daemon test variant flagged: %v", diags)
+	}
+	if diags := run("github.com/other/mod"); len(diags) != 0 {
+		t.Errorf("foreign module flagged: %v", diags)
+	}
+}

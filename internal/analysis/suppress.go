@@ -11,8 +11,25 @@ import (
 //
 // and silence diagnostics of <rule> on the same line (trailing comment) or
 // on the line directly below the comment. A reason is mandatory — a bare
-// `//lint:allow simclock` does not suppress anything, so every exemption
-// is forced to document itself.
+// `//lint:allow simclock` suppresses nothing AND is itself diagnosed
+// (rule "suppress"), so every exemption is forced to document itself.
+// An allow that no longer matches any diagnostic is likewise diagnosed
+// as stale, but only when the analyzer it names is part of the run —
+// `-check=simclock` must not condemn an errflow waiver it never tested.
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos       token.Pos
+	rule      string
+	hasReason bool
+	used      bool // suppressed at least one diagnostic this run
+}
+
+// suppressionIndex maps file:line keys to the directives covering them.
+type suppressionIndex struct {
+	byLine     map[suppression][]*allowDirective
+	directives []*allowDirective
+}
 
 type suppression struct {
 	file string
@@ -20,56 +37,95 @@ type suppression struct {
 	rule string
 }
 
-// suppressions collects every well-formed //lint:allow directive in the
-// pass, keyed by the line it exempts.
-func collectSuppressions(pass *Pass) map[suppression]bool {
-	out := make(map[suppression]bool)
+// collectSuppressions parses every //lint:allow directive in the pass,
+// well-formed or not, keyed by the lines it exempts.
+func collectSuppressions(pass *Pass) *suppressionIndex {
+	idx := &suppressionIndex{byLine: make(map[suppression][]*allowDirective)}
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rule, ok := parseAllow(c.Text)
-				if !ok {
+				rule, hasReason, isDirective := parseAllow(c.Text)
+				if !isDirective {
 					continue
+				}
+				d := &allowDirective{pos: c.Pos(), rule: rule, hasReason: hasReason}
+				idx.directives = append(idx.directives, d)
+				if !hasReason {
+					continue // malformed: diagnosed, never suppresses
 				}
 				pos := pass.Fset.Position(c.Pos())
 				// Exempt the comment's own line (trailing form) and the
 				// next line (preceding form).
-				out[suppression{pos.Filename, pos.Line, rule}] = true
-				out[suppression{pos.Filename, pos.Line + 1, rule}] = true
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := suppression{pos.Filename, line, rule}
+					idx.byLine[k] = append(idx.byLine[k], d)
+				}
 			}
 		}
 	}
-	return out
+	return idx
 }
 
-// parseAllow extracts the rule from a `//lint:allow <rule> <reason>`
-// comment. It returns ok=false for comments that are not directives or
-// that omit the reason.
-func parseAllow(text string) (rule string, ok bool) {
-	const prefix = "//lint:allow "
+// parseAllow dissects a `//lint:allow <rule> <reason>` comment.
+// isDirective is true for any comment starting with //lint:allow;
+// hasReason requires at least one word after the rule.
+func parseAllow(text string) (rule string, hasReason, isDirective bool) {
+	const prefix = "//lint:allow"
 	if !strings.HasPrefix(text, prefix) {
-		return "", false
+		return "", false, false
 	}
-	fields := strings.Fields(text[len(prefix):])
-	if len(fields) < 2 { // rule plus at least one word of reason
-		return "", false
+	rest := text[len(prefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false, false // e.g. //lint:allowother
 	}
-	return fields[0], true
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", false, true
+	}
+	return fields[0], len(fields) >= 2, true
 }
 
-// filterSuppressed drops diagnostics covered by an allow directive.
-func filterSuppressed(pass *Pass, diags []Diagnostic) []Diagnostic {
-	if len(diags) == 0 {
+// filterSuppressed drops diagnostics covered by an allow directive, then
+// reports suppression hygiene: directives missing a reason, and reasoned
+// directives that suppressed nothing although their analyzer ran (stale).
+func filterSuppressed(pass *Pass, diags []Diagnostic, analyzers []*Analyzer) []Diagnostic {
+	idx := collectSuppressions(pass)
+	if len(idx.directives) == 0 {
 		return diags
 	}
-	allowed := collectSuppressions(pass)
 	kept := diags[:0]
 	for _, d := range diags {
 		pos := pass.Fset.Position(d.Pos)
-		if allowed[suppression{pos.Filename, pos.Line, d.Rule}] {
+		covering := idx.byLine[suppression{pos.Filename, pos.Line, d.Rule}]
+		if len(covering) == 0 {
+			kept = append(kept, d)
 			continue
 		}
-		kept = append(kept, d)
+		for _, dir := range covering {
+			dir.used = true
+		}
+	}
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	for _, dir := range idx.directives {
+		switch {
+		case !dir.hasReason:
+			kept = append(kept, Diagnostic{
+				Pos:  dir.pos,
+				Rule: "suppress",
+				Message: "//lint:allow without a reason suppresses nothing; write " +
+					"`//lint:allow <rule> <reason>` so the exemption documents itself",
+			})
+		case !dir.used && active[dir.rule]:
+			kept = append(kept, Diagnostic{
+				Pos:  dir.pos,
+				Rule: "suppress",
+				Message: "stale //lint:allow " + dir.rule + ": it suppresses no " +
+					"diagnostic on its line or the next; delete it (or fix the rule name)",
+			})
+		}
 	}
 	return kept
 }

@@ -1,25 +1,59 @@
 package analysis
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseAllow(t *testing.T) {
 	cases := []struct {
-		text string
-		rule string
-		ok   bool
+		text        string
+		rule        string
+		hasReason   bool
+		isDirective bool
 	}{
-		{"//lint:allow simclock startup banner needs real time", "simclock", true},
-		{"//lint:allow errflow best-effort metrics push", "errflow", true},
-		{"//lint:allow detrand", "", false},            // reason is mandatory
-		{"//lint:allow  detrand why", "detrand", true}, // extra spaces tolerated
-		{"// lint:allow simclock reason", "", false},   // space before lint: not a directive
-		{"//nolint:simclock", "", false},
-		{"// regular comment", "", false},
+		{"//lint:allow simclock startup banner needs real time", "simclock", true, true},
+		{"//lint:allow errflow best-effort metrics push", "errflow", true, true},
+		{"//lint:allow detrand", "detrand", false, true}, // directive, but reasonless
+		{"//lint:allow", "", false, true},                // degenerate directive
+		{"//lint:allow  detrand why", "detrand", true, true},
+		{"// lint:allow simclock reason", "", false, false}, // space before lint: not a directive
+		{"//lint:allowother x y", "", false, false},
+		{"//nolint:simclock", "", false, false},
+		{"// regular comment", "", false, false},
 	}
 	for _, c := range cases {
-		rule, ok := parseAllow(c.text)
-		if ok != c.ok || (ok && rule != c.rule) {
-			t.Errorf("parseAllow(%q) = (%q, %v), want (%q, %v)", c.text, rule, ok, c.rule, c.ok)
+		rule, hasReason, isDirective := parseAllow(c.text)
+		if isDirective != c.isDirective || hasReason != c.hasReason || (isDirective && rule != c.rule) {
+			t.Errorf("parseAllow(%q) = (%q, %v, %v), want (%q, %v, %v)",
+				c.text, rule, hasReason, isDirective, c.rule, c.hasReason, c.isDirective)
 		}
+	}
+}
+
+// TestSuppressHygiene runs the simclock analyzer over the suppressbad
+// fixture: used waivers are silent, stale waivers and reasonless waivers
+// are diagnosed, and waivers for rules outside the run are left alone.
+func TestSuppressHygiene(t *testing.T) {
+	runFixture(t, "dragster/internal/suppressbad", SimclockAnalyzer())
+}
+
+// TestStaleRequiresActiveAnalyzer verifies the errflow waiver in the
+// fixture IS condemned as stale once errflow joins the run.
+func TestStaleRequiresActiveAnalyzer(t *testing.T) {
+	loader := newFixtureLoader()
+	pass, err := loader.load("dragster/internal/suppressbad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunSuite(pass, []*Analyzer{SimclockAnalyzer(), ErrflowAnalyzer()})
+	found := false
+	for _, d := range diags {
+		if d.Rule == "suppress" && strings.Contains(d.Message, "stale //lint:allow errflow") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("errflow active but its unused waiver not reported stale; got %v", diags)
 	}
 }

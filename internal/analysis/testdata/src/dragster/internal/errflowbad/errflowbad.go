@@ -51,6 +51,6 @@ func Waived() {
 }
 
 func MissingReasonDoesNotWaive() {
-	//lint:allow errflow
+	//lint:allow errflow // want `//lint:allow without a reason suppresses nothing`
 	store.Save("x") // want `statement discards the error`
 }

@@ -1,0 +1,83 @@
+// Package goroutinebad exercises the goroutine analyzer: unsupervised
+// launches are flagged; WaitGroup-joined, channel-signalling,
+// WaitGroup-passing, and //lint:workerpool launches are not.
+package goroutinebad
+
+import "sync"
+
+// FireAndForget drops a goroutine on the floor.
+func FireAndForget(f func()) {
+	go f() // want `unsupervised goroutine in FireAndForget`
+}
+
+// LiteralNoJoin launches a literal with no lifecycle.
+func LiteralNoJoin() {
+	go func() { // want `unsupervised goroutine in LiteralNoJoin`
+		_ = 1 + 1
+	}()
+}
+
+// WaitGroupJoin is the canonical supervised form.
+func WaitGroupJoin(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// DoneChannel signals completion over a channel.
+func DoneChannel() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	return done
+}
+
+// ResultChannel sends its result; the receiver joins implicitly.
+func ResultChannel() <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 42
+	}()
+	return out
+}
+
+// worker joins through the WaitGroup it receives.
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+// PassWaitGroup hands the WaitGroup to a named worker.
+func PassWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+}
+
+// orphan has no lifecycle of its own.
+func orphan() {}
+
+// LaunchOrphan launches a named function that never signals.
+func LaunchOrphan() {
+	go orphan() // want `unsupervised goroutine in LaunchOrphan`
+}
+
+// Run is the designated pool helper: launches inside it are audited by
+// the annotation, not the analyzer.
+//
+//lint:workerpool
+func Run(f func()) {
+	go f()
+}
+
+// Waived documents why this launch is exempt.
+func Waived(f func()) {
+	//lint:allow goroutine fixture demonstrates the reasoned waiver
+	go f()
+}

@@ -1,0 +1,112 @@
+// Package hotpathbad exercises the hotpath analyzer: per-call
+// allocations inside annotated (and seeded) hot functions are flagged;
+// unannotated functions, the scratch-grow idiom, and reasoned waivers
+// are not.
+package hotpathbad
+
+import "fmt"
+
+// Sim carries the scratch buffers the clean functions reuse.
+type Sim struct {
+	buf   []float64
+	names []string
+}
+
+// HotMake allocates fresh buffers per call.
+//
+//lint:hotpath
+func (s *Sim) HotMake(n int) []float64 {
+	out := make([]float64, n) // want `calls make per invocation`
+	m := map[string]int{}     // want `allocates a map literal per call`
+	_ = m
+	return out
+}
+
+// HotScratchGrow is the idiom the analyzer promotes: make only runs when
+// capacity is short and lands in a reused field.
+//
+//lint:hotpath
+func (s *Sim) HotScratchGrow(n int) []float64 {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	return s.buf[:n]
+}
+
+// HotLiterals covers the escaping-literal forms.
+//
+//lint:hotpath
+func (s *Sim) HotLiterals(x float64) *Sim {
+	xs := []float64{x} // want `allocates a slice literal per call`
+	_ = xs
+	return &Sim{} // want `heap-allocates via &composite literal`
+}
+
+// HotStrings covers Sprintf and concatenation.
+//
+//lint:hotpath
+func (s *Sim) HotStrings(name string, v float64) string {
+	label := fmt.Sprintf("%s=%v", name, v) // want `builds a string via fmt\.Sprintf`
+	label = label + "!"                    // want `concatenates strings`
+	label += "?"                           // want `grows a string with \+=`
+	return label
+}
+
+// sink boxes its argument.
+func sink(v any) { _ = v }
+
+// HotBoxing passes a concrete float to an interface parameter.
+//
+//lint:hotpath
+func (s *Sim) HotBoxing(v float64) {
+	sink(v)  // want `boxes a float64 into interface parameter v`
+	sink(&v) // pointers are already boxed-shape: no allocation
+	sink(nil)
+}
+
+// HotAppendGrowth grows an unpreallocated slice in a loop.
+//
+//lint:hotpath
+func (s *Sim) HotAppendGrowth(vals []float64) []float64 {
+	var out []float64
+	for _, v := range vals {
+		out = append(out, v*2) // want `appends to out, declared without preallocated capacity`
+	}
+	return out
+}
+
+// HotAppendPrealloc appends into capacity reserved up front; the scratch
+// field variant is likewise clean.
+//
+//lint:hotpath
+func (s *Sim) HotAppendPrealloc(vals []float64) []float64 {
+	out := s.buf[:0]
+	for _, v := range vals {
+		out = append(out, v*2)
+	}
+	s.buf = out
+	return out
+}
+
+// HotClosureInLoop allocates one closure per iteration.
+//
+//lint:hotpath
+func (s *Sim) HotClosureInLoop(vals []float64, apply func(func() float64)) {
+	for _, v := range vals {
+		apply(func() float64 { return v }) // want `allocates a closure per loop iteration \(captures v\)`
+	}
+}
+
+// HotWaived documents its one unavoidable allocation.
+//
+//lint:hotpath
+func (s *Sim) HotWaived(n int) []float64 {
+	//lint:allow hotpath result escapes to the caller by contract
+	return make([]float64, n)
+}
+
+// ColdPath is not annotated or seeded: allocations are fine here.
+func ColdPath(n int) []float64 {
+	out := make([]float64, n)
+	return append(out, float64(n))
+}

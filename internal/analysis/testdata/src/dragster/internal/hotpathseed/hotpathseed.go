@@ -1,0 +1,17 @@
+// Package hotpathseed backs the seeded-list test: TestHotpathSeededName
+// injects Engine.Tick below into hotpathSeeds, so its allocation must be
+// flagged with no annotation present, while Other stays exempt.
+package hotpathseed
+
+// Engine mirrors the shape of the real seeded tick loop.
+type Engine struct{}
+
+// Tick is seeded by the test, not annotated.
+func (e *Engine) Tick(n int) []int {
+	return make([]int, n) // want `calls make per invocation`
+}
+
+// Other is neither seeded nor annotated.
+func (e *Engine) Other(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,110 @@
+// Package lockorderbad exercises the lockorder analyzer: the shard/
+// arbiter pair below is acquired in both orders, the registry/journal
+// pair in one consistent order.
+package lockorderbad
+
+import "sync"
+
+// Shard and Arbiter model the future multi-shard control plane.
+type Shard struct {
+	mu    sync.Mutex
+	load  int
+	owner *Arbiter
+}
+
+type Arbiter struct {
+	mu     sync.RWMutex
+	budget int
+}
+
+// Rebalance takes shard then arbiter.
+func Rebalance(s *Shard, a *Arbiter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a.mu.Lock() // want `Arbiter\.mu acquired while holding Shard\.mu in Rebalance`
+	a.budget -= s.load
+	a.mu.Unlock()
+}
+
+// Grant takes arbiter then shard — the inversion.
+func Grant(a *Arbiter, s *Shard) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	s.mu.Lock() // want `Shard\.mu acquired while holding Arbiter\.mu in Grant`
+	s.load += a.budget
+	s.mu.Unlock()
+}
+
+// Registry and Journal are always taken in the same order: no finding.
+type Registry struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Journal struct {
+	mu sync.Mutex
+	n  int
+}
+
+func RecordA(r *Registry, j *Journal) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j.mu.Lock()
+	j.n++
+	j.mu.Unlock()
+	r.n++
+}
+
+func RecordB(r *Registry, j *Journal) {
+	r.mu.Lock()
+	j.mu.Lock()
+	j.n--
+	j.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// Sequential re-acquisition after release is not nesting: no finding.
+func Sequential(a *Arbiter, s *Shard) {
+	s.mu.Lock()
+	s.load++
+	s.mu.Unlock()
+	a.mu.Lock()
+	a.budget++
+	a.mu.Unlock()
+}
+
+// Reentrant same-lock pairs are ignored (self-deadlock is the race
+// detector's and staticcheck's turf, not ordering's).
+func SameLockTwice(s *Shard) {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// Cache/Stats invert too, but one side carries a reasoned waiver: only
+// the unwaived side fires.
+type Cache struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Stats struct {
+	mu sync.Mutex
+	n  int
+}
+
+func FillA(c *Cache, s *Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.mu.Lock() // want `Stats\.mu acquired while holding Cache\.mu in FillA`
+	s.n++
+	s.mu.Unlock()
+}
+
+func FillB(c *Cache, s *Stats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:allow lockorder migration scaffolding: FillB is being retired this PR
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}

@@ -36,6 +36,6 @@ func WaivedTrailing() time.Time {
 }
 
 func MissingReasonDoesNotWaive() time.Time {
-	//lint:allow simclock
+	//lint:allow simclock // want `//lint:allow without a reason suppresses nothing`
 	return time.Now() // want `time\.Now reads the wall clock`
 }

@@ -1,0 +1,32 @@
+// Package suppressbad exercises suppression hygiene: a reasoned waiver
+// that suppresses a real diagnostic is silent, a reasoned waiver that
+// suppresses nothing is stale, and a reasonless waiver is diagnosed and
+// waives nothing.
+package suppressbad
+
+import "time"
+
+// Used carries a reasoned, matching waiver: nothing fires.
+func Used() time.Time {
+	//lint:allow simclock fixture exercises the used waiver
+	return time.Now()
+}
+
+// Stale waives a rule that produces nothing on the covered lines.
+func Stale() int {
+	//lint:allow simclock nothing below reads the clock // want `stale //lint:allow simclock`
+	return 1
+}
+
+// WrongRule waives a rule that is not part of the run: with only
+// simclock active, the errflow waiver is left untested, not condemned.
+func WrongRule() int {
+	//lint:allow errflow this rule is not in the simclock-only run
+	return 2
+}
+
+// NoReason is diagnosed and does not suppress the finding below it.
+func NoReason() time.Time {
+	//lint:allow simclock // want `//lint:allow without a reason suppresses nothing`
+	return time.Now() // want `time\.Now reads the wall clock`
+}

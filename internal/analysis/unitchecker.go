@@ -53,11 +53,12 @@ type vetConfig struct {
 }
 
 // Main is the entry point for cmd/dragsterlint. It dispatches between the
-// -V=full handshake and per-package analysis, and returns the process exit
-// code.
+// -V=full handshake, the -merge-sarif aggregation mode, and per-package
+// analysis, and returns the process exit code.
 func Main(args []string, stdout, stderr io.Writer) int {
-	var cfgFile string
+	var cfgFile, mergeFile string
 	var names []string
+	var emitJSON, emitSARIF, merge bool
 	for _, arg := range args {
 		switch {
 		case arg == "-V=full" || arg == "--V=full":
@@ -65,9 +66,23 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		case arg == "-flags":
 			// cmd/go probes supported flags in JSON and re-exposes them on
 			// the `go vet` command line; advertising -check here is what
-			// makes `go vet -vettool=... -check=simclock ./...` work.
-			fmt.Fprintln(stdout, `[{"Name":"check","Bool":false,"Usage":"comma-separated list of analyzers to run (default: all)"}]`)
+			// makes `go vet -vettool=... -check=simclock ./...` work, and
+			// likewise -json / -sarif for machine-readable output.
+			fmt.Fprintln(stdout, `[{"Name":"check","Bool":false,"Usage":"comma-separated list of analyzers to run (default: all)"},`+
+				`{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON on stdout (exit 0)"},`+
+				`{"Name":"sarif","Bool":true,"Usage":"emit diagnostics as one SARIF 2.1.0 document per package on stdout (exit 0)"}]`)
 			return 0
+		case arg == "-json" || arg == "-json=true":
+			emitJSON = true
+		case arg == "-sarif" || arg == "-sarif=true":
+			emitSARIF = true
+		case arg == "-json=false" || arg == "-sarif=false":
+			// explicit defaults
+		case arg == "-merge-sarif":
+			merge = true
+		case strings.HasPrefix(arg, "-merge-sarif="):
+			merge = true
+			mergeFile = strings.TrimPrefix(arg, "-merge-sarif=")
 		case strings.HasPrefix(arg, "-check="):
 			for _, n := range strings.Split(strings.TrimPrefix(arg, "-check="), ",") {
 				if n != "" {
@@ -77,8 +92,19 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		case strings.HasPrefix(arg, "-"):
 			// Ignore pass-through vet flags we don't implement.
 		default:
-			cfgFile = arg
+			if merge && mergeFile == "" {
+				mergeFile = arg
+			} else {
+				cfgFile = arg
+			}
 		}
+	}
+	if merge {
+		return runMergeSARIF(mergeFile, stdout, stderr)
+	}
+	if emitJSON && emitSARIF {
+		fmt.Fprintln(stderr, "dragsterlint: -json and -sarif are mutually exclusive")
+		return 2
 	}
 	if cfgFile == "" {
 		fmt.Fprintln(stderr, "dragsterlint: no *.cfg file argument; run via `go vet -vettool=$(which dragsterlint) ./...` or `make lint`")
@@ -89,10 +115,30 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dragsterlint: %v\n", err)
 		return 2
 	}
-	diags, fset, err := runUnit(cfgFile, analyzers)
+	diags, fset, cfg, err := runUnit(cfgFile, analyzers)
 	if err != nil {
 		fmt.Fprintf(stderr, "dragsterlint: %v\n", err)
 		return 1
+	}
+	switch {
+	case emitJSON:
+		if cfg == nil {
+			return 0 // dependency-only or foreign package: nothing to report
+		}
+		if err := writeJSON(stdout, cfg.ID, fset, diags); err != nil {
+			fmt.Fprintf(stderr, "dragsterlint: %v\n", err)
+			return 1
+		}
+		return 0
+	case emitSARIF:
+		if cfg == nil {
+			return 0
+		}
+		if err := writeSARIF(stdout, analyzers, fset, diags); err != nil {
+			fmt.Fprintf(stderr, "dragsterlint: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	if len(diags) == 0 {
 		return 0
@@ -101,6 +147,27 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Rule, d.Message)
 	}
 	return 2
+}
+
+// runMergeSARIF implements `dragsterlint -merge-sarif [stream-file]`:
+// stdin (or the file) holds concatenated per-package SARIF documents;
+// stdout gets one merged document.
+func runMergeSARIF(path string, stdout, stderr io.Writer) int {
+	in := io.Reader(os.Stdin)
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "dragsterlint: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := MergeSARIF(in, stdout); err != nil {
+		fmt.Fprintf(stderr, "dragsterlint: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
 // printVersion implements the -V=full handshake: the final field must be a
@@ -127,22 +194,24 @@ func printVersion(stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runUnit analyzes the single package described by the config file.
-func runUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+// runUnit analyzes the single package described by the config file. The
+// returned config is nil when the invocation was dependency-only or the
+// package lies outside this module.
+func runUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, *vetConfig, error) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var cfg vetConfig
 	if err := json.Unmarshal(data, &cfg); err != nil {
-		return nil, nil, fmt.Errorf("parsing %s: %v", cfgFile, err)
+		return nil, nil, nil, fmt.Errorf("parsing %s: %v", cfgFile, err)
 	}
 
 	// Facts file first: cmd/go expects it to exist even when we have
 	// nothing to say (we exchange no cross-package facts).
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	// Dependency-only invocation, or a package outside this module (the
@@ -152,7 +221,7 @@ func runUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSe
 		path = path[:i] // "pkg [pkg.test]" test variants
 	}
 	if cfg.VetxOnly || (path != ModulePath && !hasPathPrefix(path, ModulePath)) {
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	}
 
 	fset := token.NewFileSet()
@@ -161,9 +230,9 @@ func runUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSe
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil, nil, nil
+				return nil, nil, nil, nil
 			}
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		files = append(files, f)
 	}
@@ -171,13 +240,13 @@ func runUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSe
 	pkg, info, err := typeCheck(fset, files, &cfg)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil, nil
+			return nil, nil, nil, nil
 		}
-		return nil, nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+		return nil, nil, nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
 	}
 
 	pass := &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info}
-	return RunSuite(pass, analyzers), fset, nil
+	return RunSuite(pass, analyzers), fset, &cfg, nil
 }
 
 // typeCheck type-checks the package against the export data of its

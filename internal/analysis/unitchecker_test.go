@@ -43,8 +43,8 @@ func TestMainRejectsUnknownAnalyzer(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := ByName(nil)
-	if err != nil || len(all) != 6 {
-		t.Fatalf("ByName(nil) = %d analyzers, err %v; want 6, nil", len(all), err)
+	if err != nil || len(all) != 9 {
+		t.Fatalf("ByName(nil) = %d analyzers, err %v; want 9, nil", len(all), err)
 	}
 	two, err := ByName([]string{"errflow", "simclock"})
 	if err != nil || len(two) != 2 || two[0].Name != "errflow" || two[1].Name != "simclock" {
@@ -52,6 +52,69 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName([]string{"bogus"}); err == nil {
 		t.Fatal("ByName(bogus) succeeded, want error")
+	}
+}
+
+func TestMainRejectsJSONPlusSARIF(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-json", "-sarif", "x.cfg"}, &out, &errb); code != 2 {
+		t.Errorf("Main(-json -sarif) = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "mutually exclusive") {
+		t.Errorf("stderr = %q, want mutual-exclusion error", errb.String())
+	}
+}
+
+func TestMainFlagsAdvertisesMachineOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-flags"}, &out, &errb); code != 0 {
+		t.Fatalf("Main(-flags) = %d, stderr: %s", code, errb.String())
+	}
+	var flags []struct {
+		Name string
+		Bool bool
+	}
+	if err := json.Unmarshal(out.Bytes(), &flags); err != nil {
+		t.Fatalf("-flags output is not JSON: %v\n%s", err, out.String())
+	}
+	want := map[string]bool{"check": false, "json": false, "sarif": false}
+	for _, f := range flags {
+		if _, ok := want[f.Name]; ok {
+			want[f.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("-flags does not advertise %q", name)
+		}
+	}
+}
+
+// TestMainMergeSARIFFromFile drives the -merge-sarif mode end to end:
+// two concatenated per-package documents in a file become one merged
+// document on stdout.
+func TestMainMergeSARIFFromFile(t *testing.T) {
+	pass, err := newFixtureLoader().load("dragster/internal/simclockbad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunSuite(pass, []*Analyzer{SimclockAnalyzer()})
+	var stream bytes.Buffer
+	for i := 0; i < 2; i++ {
+		if err := writeSARIF(&stream, All(), pass.Fset, diags); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "lint.stream")
+	if err := os.WriteFile(path, stream.Bytes(), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-merge-sarif", path}, &out, &errb); code != 0 {
+		t.Fatalf("Main(-merge-sarif) = %d, stderr: %s", code, errb.String())
+	}
+	if got, want := validateSARIF(t, out.Bytes()), 2*len(diags); got != want {
+		t.Errorf("merged results = %d, want %d", got, want)
 	}
 }
 
@@ -77,7 +140,7 @@ func TestRunUnitSkipsVetxOnly(t *testing.T) {
 		VetxOnly:   true,
 		VetxOutput: vetx,
 	})
-	diags, _, err := runUnit(cfg, All())
+	diags, _, _, err := runUnit(cfg, All())
 	if err != nil || len(diags) != 0 {
 		t.Fatalf("runUnit(vetxOnly) = %v diags, err %v", diags, err)
 	}
@@ -92,7 +155,7 @@ func TestRunUnitSkipsForeignModules(t *testing.T) {
 		ImportPath: "time", // standard library: full of time.Now, must be skipped
 		GoFiles:    []string{"does-not-exist.go"},
 	})
-	diags, _, err := runUnit(cfg, All())
+	diags, _, _, err := runUnit(cfg, All())
 	if err != nil || len(diags) != 0 {
 		t.Fatalf("runUnit(stdlib pkg) = %v diags, err %v (must skip before parsing)", diags, err)
 	}

@@ -118,6 +118,10 @@ type Cluster struct {
 	cost        float64 // accrued dollars
 	injector    Injector
 	tracer      *telemetry.Tracer
+
+	// metricsBuf backs PodMetrics: the monitor scrapes every pod once per
+	// slot, so the response rows are reused instead of allocated per call.
+	metricsBuf []PodMetric
 }
 
 // SetInjector installs (or, with nil, removes) the fault-injection hook.
@@ -514,9 +518,11 @@ type PodMetric struct {
 }
 
 // PodMetrics returns usage for every running pod (the Kubernetes
-// Metrics Server surface the Job Monitor scrapes).
+// Metrics Server surface the Job Monitor scrapes). The returned slice
+// aliases a reused scratch buffer and is only valid until the next
+// PodMetrics call; copy it to retain rows.
 func (c *Cluster) PodMetrics() []PodMetric {
-	var out []PodMetric
+	out := c.metricsBuf[:0]
 	for _, name := range c.podOrder {
 		p := c.pods[name]
 		if p == nil || p.Phase != PodRunning {
@@ -529,6 +535,7 @@ func (c *Cluster) PodMetrics() []PodMetric {
 			CPULimit:   p.Spec.CPUMilli,
 		})
 	}
+	c.metricsBuf = out
 	return out
 }
 

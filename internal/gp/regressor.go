@@ -270,6 +270,7 @@ func (r *Regressor) PosteriorFromCross(kx []float64, kxx float64) (mu, variance 
 		return 0, 0, err
 	}
 	if len(kx) != len(r.ys) {
+		//lint:allow hotpath cold validation guard: a length mismatch is a caller bug, never hit in steady state
 		return 0, 0, fmt.Errorf("gp: cross-covariance length %d, want %d", len(kx), len(r.ys))
 	}
 	return r.posteriorFromCross(kx, kxx)

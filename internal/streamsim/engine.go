@@ -52,7 +52,10 @@ type TickStats struct {
 	// MaxLatencySec). The paper's dynamic-fit bound translates into a
 	// bound on exactly this quantity.
 	LatencySec float64
-	Ops        []OpTick // per dense operator index
+	// Ops holds per-operator activity by dense operator index. The slice
+	// aliases an Engine scratch buffer and is only valid until the next
+	// Tick; callers that retain it across ticks must copy it.
+	Ops []OpTick
 }
 
 // Engine simulates the dataflow. Not safe for concurrent use.
@@ -66,6 +69,14 @@ type Engine struct {
 	slotNoise []float64               // capacity factor per operator, redrawn per slot
 	order     []dag.NodeID            // cached topological order (operators+sinks)
 	pause     int                     // remaining pause ticks
+
+	// Per-tick scratch buffers: Tick runs once per simulated second, so
+	// its working slices are grown once and reused instead of allocated
+	// per call. opsBuf backs TickStats.Ops (valid until the next Tick);
+	// qBuf/demBuf are tickOperator's per-edge working vectors.
+	opsBuf []OpTick
+	qBuf   []float64
+	demBuf []float64
 
 	dropped   float64
 	processed float64 // cumulative sink throughput
@@ -225,17 +236,27 @@ func (e *Engine) BufferedTotal() float64 {
 }
 
 // Tick advances the simulation by one second with the given offered source
-// rates (tuples/s per dense source index).
+// rates (tuples/s per dense source index). The returned TickStats.Ops
+// aliases a reused scratch buffer: copy it before the next Tick if you
+// keep it.
 func (e *Engine) Tick(rates []float64) (TickStats, error) {
 	if len(rates) != e.g.NumSources() {
+		//lint:allow hotpath cold validation guard: a rate-count mismatch is a caller bug, never hit in steady state
 		return TickStats{}, fmt.Errorf("streamsim: got %d rates, want %d sources", len(rates), e.g.NumSources())
 	}
-	st := TickStats{Ops: make([]OpTick, e.g.NumOperators())}
+	nOps := e.g.NumOperators()
+	if cap(e.opsBuf) < nOps {
+		e.opsBuf = make([]OpTick, nOps)
+	}
+	ops := e.opsBuf[:nOps]
+	clear(ops)
+	st := TickStats{Ops: ops}
 
 	// Sources always emit: backlog accumulates during pauses.
 	for si, src := range e.g.Sources() {
 		rate := rates[si]
 		if rate < 0 || math.IsNaN(rate) {
+			//lint:allow hotpath cold validation guard: invalid rates abort the run, never hit in steady state
 			return TickStats{}, fmt.Errorf("streamsim: invalid rate %v for source %d", rate, si)
 		}
 		for _, succ := range e.g.Succs(src) {
@@ -294,7 +315,10 @@ func (e *Engine) tickOperator(id dag.NodeID, st *TickStats) {
 	preds := e.g.Preds(id)
 	succs := e.g.Succs(id)
 
-	q := make([]float64, len(preds))
+	if cap(e.qBuf) < len(preds) {
+		e.qBuf = make([]float64, len(preds))
+	}
+	q := e.qBuf[:len(preds)]
 	var backlog float64
 	for k, p := range preds {
 		q[k] = e.edgeBuf[dag.EdgeKey{From: p, To: id}]
@@ -311,7 +335,10 @@ func (e *Engine) tickOperator(id dag.NodeID, st *TickStats) {
 	}
 
 	// Desired emissions and the feasible uniform drain fraction φ.
-	demands := make([]float64, len(succs))
+	if cap(e.demBuf) < len(succs) {
+		e.demBuf = make([]float64, len(succs))
+	}
+	demands := e.demBuf[:len(succs)]
 	phi := 1.0
 	anyDemand := false
 	for j, s := range succs {

@@ -115,7 +115,9 @@ func (a *SlotAccumulator) Tick(rates []float64, st streamsim.TickStats) error {
 		a.outSum[i] += st.Ops[i].Emitted
 		a.consSum[i] += st.Ops[i].Consumed
 	}
-	a.lastOps = st.Ops
+	// st.Ops aliases the engine's per-tick scratch buffer; copy it, since
+	// Finish reads lastOps after further ticks have overwritten it.
+	a.lastOps = append(a.lastOps[:0], st.Ops...)
 	return nil
 }
 

@@ -406,6 +406,13 @@ func (s *Searcher) OptimisticAt(x []float64) (float64, error) {
 // configuration for the first slot, so this only happens at cold start).
 var ErrNoData = errors.New("ucb: no observations yet")
 
+// Static sentinels for invalid enum configurations: Select sits on the
+// per-round critical path, so its error returns must not build strings.
+var (
+	errUnknownBonus       = errors.New("ucb: unknown bonus form")
+	errUnknownAcquisition = errors.New("ucb: unknown acquisition")
+)
+
 // Select returns the candidate maximizing the acquisition for the given
 // target capacity, along with its index and the β_t used. For the
 // Conventional acquisition the target is ignored.
@@ -458,7 +465,7 @@ func (s *Searcher) Select(target float64) (x []float64, idx int, beta float64, e
 		case VarianceBonus:
 			bonus = beta * variance
 		default:
-			return nil, 0, 0, fmt.Errorf("ucb: unknown bonus form %d", s.bonus)
+			return nil, 0, 0, errUnknownBonus
 		}
 		bonus *= s.explore
 		var score float64
@@ -468,7 +475,7 @@ func (s *Searcher) Select(target float64) (x []float64, idx int, beta float64, e
 		case Conventional:
 			score = mu + bonus
 		default:
-			return nil, 0, 0, fmt.Errorf("ucb: unknown acquisition %d", s.acq)
+			return nil, 0, 0, errUnknownAcquisition
 		}
 		if score > bestScore {
 			bestScore, idx = score, i
