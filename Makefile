@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-snapshot fuzz-smoke lint lint-sarif repro repro-quick examples clean
+.PHONY: all build test race cover bench bench-gp bench-e2e bench-e2e-gate bench-snapshot fuzz-smoke lint lint-sarif repro repro-quick examples clean
 
 all: build test lint
 
@@ -50,8 +50,27 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzCholeskyExtend -fuzztime 3s ./internal/linalg
 	$(GO) test -run NONE -fuzz FuzzGraphBuild -fuzztime 3s ./internal/dag
 
-bench:
-	$(GO) test -bench=. -benchmem ./...
+# Everything: the GP-stack micro-benchmarks and the end-to-end harness
+# benchmarks.
+bench: bench-gp bench-e2e
+
+# GP/linalg/UCB micro-benchmarks only (the optimizer inner loops).
+bench-gp:
+	$(GO) test -run NONE -bench 'Posterior|ObserveRefit|Select|MaximizeLML|Cholesky' -benchmem \
+		./internal/gp ./internal/ucb ./internal/linalg
+
+# End-to-end harness benchmarks — full Run rounds/sec, the 8-seed Repeat
+# fan-out at 1 and 4 workers, and fleet rounds at 10 and 100 tenants —
+# snapshotted into BENCH_e2e.json for the CI regression gate.
+bench-e2e:
+	$(GO) test -run NONE -bench 'RunRoundsPerSec|Repeat8Seeds|FleetRound' -benchmem \
+		./internal/experiment ./internal/fleet | $(GO) run ./cmd/benchsnapshot -out BENCH_e2e.json -label "make bench-e2e"
+
+# Re-run the e2e benchmarks and fail if any ns/op regressed more than 20%
+# against the committed snapshot (CI runs the same gate).
+bench-e2e-gate:
+	$(GO) test -run NONE -bench 'RunRoundsPerSec|Repeat8Seeds|FleetRound' -benchmem \
+		./internal/experiment ./internal/fleet | $(GO) run ./cmd/benchsnapshot -gate BENCH_e2e.json
 
 # Snapshot the GP-stack micro-benchmarks (posterior, incremental refit,
 # UCB select, LML search, Cholesky) into BENCH_gp.json so perf PRs can

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"dragster/internal/experiment"
 	"dragster/internal/osp"
@@ -25,16 +27,51 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig4|fig4budget|fig5|fig6|table2|fig7|table3|regret|theorem2|ds2|robustness|ablation|fleet|all")
-		slotSec = flag.Int("slotsec", 600, "slot length in simulated seconds (paper: 600)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		budget  = flag.Int("budget", 13, "task budget for fig4budget (paper: $1.6/h ≈ 13 TaskManager pods)")
+		exp        = flag.String("exp", "all", "experiment: fig4|fig4budget|fig5|fig6|table2|fig7|table3|regret|theorem2|ds2|robustness|ablation|fleet|all")
+		slotSec    = flag.Int("slotsec", 600, "slot length in simulated seconds (paper: 600)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		budget     = flag.Int("budget", 13, "task budget for fig4budget (paper: $1.6/h ≈ 13 TaskManager pods)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
-	if err := run(*exp, *slotSec, *seed, *budget); err != nil {
+	if err := runProfiled(*exp, *slotSec, *seed, *budget, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "benchmark:", err)
 		os.Exit(1)
 	}
+}
+
+// runProfiled wraps run with the optional pprof capture: the CPU profile
+// spans the whole experiment suite, and the heap profile snapshots live
+// allocations after a final GC — the pair `-exp fig4 -cpuprofile cpu.out
+// -memprofile mem.out` is how the hot-path work in this repo is measured.
+func runProfiled(exp string, slotSec int, seed int64, budget int, cpuProfile, memProfile string) error {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(exp, slotSec, seed, budget); err != nil {
+		return err
+	}
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize the steady-state live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
 }
 
 func run(exp string, slotSec int, seed int64, budget int) error {

@@ -1,8 +1,16 @@
 // Command benchsnapshot parses `go test -bench -benchmem` output from
 // stdin and writes a machine-diffable JSON snapshot of ns/op, B/op and
 // allocs/op per benchmark. `make bench-snapshot` pipes the GP/linalg/UCB
-// micro-benchmarks through it into BENCH_gp.json so successive perf PRs
-// can diff the trajectory instead of eyeballing terminal output.
+// micro-benchmarks through it into BENCH_gp.json and `make bench-e2e`
+// pipes the end-to-end harness benchmarks into BENCH_e2e.json, so
+// successive perf PRs can diff the trajectory instead of eyeballing
+// terminal output.
+//
+// With -gate, the tool compares stdin against a committed snapshot
+// instead of writing one: any benchmark whose ns/op exceeds the
+// snapshot's by more than the tolerance factor — or that the snapshot
+// lists but stdin lacks — fails the run with exit status 1. CI uses this
+// as the perf-regression tripwire.
 //
 // Entries are emitted sorted by benchmark name (CPU-count suffixes like
 // "-8" stripped) so the file is deterministic for a given machine.
@@ -13,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -22,9 +31,12 @@ import (
 // benchLine matches e.g.
 //
 //	BenchmarkSelect200Obs-8   1522   791694 ns/op   10 B/op   1 allocs/op
+//	BenchmarkRunRoundsPerSec  577    2145101 ns/op  1594 rounds/sec  12 B/op  3 allocs/op
 //
-// The -benchmem columns are optional so plain -bench output still parses.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+// The -benchmem columns are optional so plain -bench output still
+// parses, and custom b.ReportMetric columns may sit between ns/op and
+// B/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
 // Entry is one benchmark measurement.
 type Entry struct {
@@ -35,15 +47,17 @@ type Entry struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// Snapshot is the BENCH_gp.json document.
+// Snapshot is the BENCH_gp.json / BENCH_e2e.json document.
 type Snapshot struct {
 	GeneratedBy string  `json:"generated_by"`
 	Benchmarks  []Entry `json:"benchmarks"`
 }
 
-func run(out string) error {
+// parseEntries reads `go test -bench` output and returns the benchmark
+// lines sorted by name.
+func parseEntries(r io.Reader) ([]Entry, error) {
 	var entries []Entry
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -52,31 +66,39 @@ func run(out string) error {
 		}
 		iters, err := strconv.ParseInt(m[2], 10, 64)
 		if err != nil {
-			return fmt.Errorf("benchsnapshot: iterations %q: %w", m[2], err)
+			return nil, fmt.Errorf("benchsnapshot: iterations %q: %w", m[2], err)
 		}
 		ns, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
-			return fmt.Errorf("benchsnapshot: ns/op %q: %w", m[3], err)
+			return nil, fmt.Errorf("benchsnapshot: ns/op %q: %w", m[3], err)
 		}
 		e := Entry{Name: m[1], Iterations: iters, NsPerOp: ns}
 		if m[4] != "" {
 			if e.BytesPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
-				return fmt.Errorf("benchsnapshot: B/op %q: %w", m[4], err)
+				return nil, fmt.Errorf("benchsnapshot: B/op %q: %w", m[4], err)
 			}
 			if e.AllocsPerOp, err = strconv.ParseFloat(m[5], 64); err != nil {
-				return fmt.Errorf("benchsnapshot: allocs/op %q: %w", m[5], err)
+				return nil, fmt.Errorf("benchsnapshot: allocs/op %q: %w", m[5], err)
 			}
 		}
 		entries = append(entries, e)
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("benchsnapshot: reading stdin: %w", err)
+		return nil, fmt.Errorf("benchsnapshot: reading input: %w", err)
 	}
 	if len(entries) == 0 {
-		return fmt.Errorf("benchsnapshot: no benchmark lines found on stdin")
+		return nil, fmt.Errorf("benchsnapshot: no benchmark lines found on stdin")
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
-	doc := Snapshot{GeneratedBy: "make bench-snapshot", Benchmarks: entries}
+	return entries, nil
+}
+
+func run(out, label string) error {
+	entries, err := parseEntries(os.Stdin)
+	if err != nil {
+		return err
+	}
+	doc := Snapshot{GeneratedBy: label, Benchmarks: entries}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return fmt.Errorf("benchsnapshot: marshal: %w", err)
@@ -93,10 +115,71 @@ func run(out string) error {
 	return nil
 }
 
+// gate compares stdin against the committed snapshot at gatePath: every
+// snapshot benchmark must appear on stdin with ns/op ≤ tolerance × the
+// snapshot value. Stdin benchmarks absent from the snapshot pass (new
+// benchmarks gate only once committed), and B/op / allocs/op are
+// informational — wall time is the contract.
+func gate(gatePath string, tolerance float64) error {
+	if tolerance < 1 {
+		return fmt.Errorf("benchsnapshot: -tolerance %g < 1 would reject unchanged results", tolerance)
+	}
+	data, err := os.ReadFile(gatePath)
+	if err != nil {
+		return fmt.Errorf("benchsnapshot: %w", err)
+	}
+	var base Snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("benchsnapshot: parsing %s: %w", gatePath, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("benchsnapshot: %s has no benchmarks", gatePath)
+	}
+	entries, err := parseEntries(os.Stdin)
+	if err != nil {
+		return err
+	}
+	got := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		got[e.Name] = e
+	}
+	failures := 0
+	for _, want := range base.Benchmarks {
+		cur, ok := got[want.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "FAIL %s: in %s but missing from the bench run\n", want.Name, gatePath)
+			failures++
+			continue
+		}
+		ratio := cur.NsPerOp / want.NsPerOp
+		status := "ok  "
+		if cur.NsPerOp > want.NsPerOp*tolerance {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(os.Stderr, "%s %s: %.0f ns/op vs snapshot %.0f (%.2fx, limit %.2fx)\n",
+			status, want.Name, cur.NsPerOp, want.NsPerOp, ratio, tolerance)
+	}
+	if failures > 0 {
+		return fmt.Errorf("benchsnapshot: %d benchmark(s) regressed past %.2fx of %s", failures, tolerance, gatePath)
+	}
+	fmt.Fprintf(os.Stderr, "benchsnapshot: %d benchmarks within %.2fx of %s\n", len(base.Benchmarks), tolerance, gatePath)
+	return nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_gp.json", "output path (- for stdout)")
+	label := flag.String("label", "make bench-snapshot", "generated_by stamp written into the snapshot")
+	gatePath := flag.String("gate", "", "compare stdin against this snapshot instead of writing one; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 1.2, "with -gate, maximum allowed ns/op ratio vs the snapshot")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	var err error
+	if *gatePath != "" {
+		err = gate(*gatePath, *tolerance)
+	} else {
+		err = run(*out, *label)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

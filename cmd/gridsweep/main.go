@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"dragster/internal/experiment"
 	"dragster/internal/workload"
@@ -20,18 +22,19 @@ import (
 
 func main() {
 	var (
-		wl     = flag.String("workload", "wordcount", "workload name")
-		rate   = flag.String("rate", "high", "offered load: high|low")
-		budget = flag.Int("budget", 0, "task budget (0 = unbounded)")
+		wl      = flag.String("workload", "wordcount", "workload name")
+		rate    = flag.String("rate", "high", "offered load: high|low")
+		budget  = flag.Int("budget", 0, "task budget (0 = unbounded)")
+		workers = flag.Int("workers", 0, "grid evaluation goroutines (0 = one per CPU)")
 	)
 	flag.Parse()
-	if err := run(*wl, *rate, *budget); err != nil {
+	if err := run(*wl, *rate, *budget, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "gridsweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, rate string, budget int) error {
+func run(wl, rate string, budget, workers int) error {
 	spec, err := workload.ByName(wl)
 	if err != nil {
 		return err
@@ -61,15 +64,40 @@ func run(wl, rate string, budget int) error {
 	fmt.Println()
 
 	if spec.Graph.NumOperators() == 2 {
-		fmt.Println("throughput grid (rows: op0 tasks, cols: op1 tasks, ktuples/s):")
-		for a := spec.MaxTasks; a >= 1; a-- {
-			fmt.Printf("%3d |", a)
-			for b := 1; b <= spec.MaxTasks; b++ {
-				th, err := experiment.SteadyThroughput(spec, rates, []int{a, b})
-				if err != nil {
-					return err
+		// The MaxTasks² cells are independent, so a bounded strided pool
+		// fills an index-addressed result grid and the rows print serially
+		// afterwards — same output at any worker count.
+		n := spec.MaxTasks
+		cells := make([]float64, n*n)
+		errs := make([]error, n*n)
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(cells) {
+			workers = len(cells)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(cells); i += workers {
+					a, b := i/n+1, i%n+1
+					cells[i], errs[i] = experiment.SteadyThroughput(spec, rates, []int{a, b})
 				}
-				fmt.Printf(" %6.1f", th/1000)
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Println("throughput grid (rows: op0 tasks, cols: op1 tasks, ktuples/s):")
+		for a := n; a >= 1; a-- {
+			fmt.Printf("%3d |", a)
+			for b := 1; b <= n; b++ {
+				fmt.Printf(" %6.1f", cells[(a-1)*n+b-1]/1000)
 			}
 			fmt.Println()
 		}

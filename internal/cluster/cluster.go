@@ -119,9 +119,12 @@ type Cluster struct {
 	injector    Injector
 	tracer      *telemetry.Tracer
 
-	// metricsBuf backs PodMetrics: the monitor scrapes every pod once per
-	// slot, so the response rows are reused instead of allocated per call.
+	// metricsBuf backs PodMetrics and podsBuf backs PodsView: the monitor
+	// scrapes every pod once per slot and the substrates walk the pod list
+	// once per tick, so the response rows are reused instead of allocated
+	// per call.
 	metricsBuf []PodMetric
+	podsBuf    []*Pod
 }
 
 // SetInjector installs (or, with nil, removes) the fault-injection hook.
@@ -432,6 +435,25 @@ func (c *Cluster) Pods() []Pod {
 			out = append(out, *p)
 		}
 	}
+	return out
+}
+
+// PodsView returns pointers to all live pods, ordered by creation,
+// without copying. The slice aliases a reused scratch buffer (the same
+// contract as PodMetrics): it is read-only and only valid until the next
+// PodsView call or any cluster mutation. The per-tick usage-reporting
+// loop in the stream substrates uses it to avoid copying every pod once
+// per simulated second.
+//
+//lint:hotpath
+func (c *Cluster) PodsView() []*Pod {
+	out := c.podsBuf[:0]
+	for _, name := range c.podOrder {
+		if p := c.pods[name]; p != nil {
+			out = append(out, p)
+		}
+	}
+	c.podsBuf = out
 	return out
 }
 

@@ -54,6 +54,17 @@ type Graph struct {
 	edgeH     map[EdgeKey]ThroughputFunc
 	edgeAlpha map[EdgeKey]float64
 
+	// Flat edge index, built once at Build so per-tick consumers
+	// (streamsim, Evaluate) touch dense arrays instead of the maps above:
+	// edge IDs are assigned walking nodes in ID order and each node's
+	// successor list in declaration order.
+	edges      []EdgeKey        // edge ID -> key
+	alphaByID  []float64        // edge ID -> α
+	hByID      []ThroughputFunc // edge ID -> h (nil for source edges)
+	predEdges  [][]int32        // node -> incoming edge IDs, preds order
+	succEdges  [][]int32        // node -> outgoing edge IDs, succs order
+	maxInEdges int              // max len(preds) over all nodes
+
 	topo      []NodeID
 	sources   []NodeID
 	operators []NodeID
@@ -212,11 +223,43 @@ func (b *Builder) Build() (*Graph, error) {
 		return nil, err
 	}
 	g.topo = topo
+	g.buildEdgeIndex()
 
 	if err := g.probe(); err != nil {
 		return nil, err
 	}
 	return g, nil
+}
+
+// buildEdgeIndex assigns each edge a dense ID and materializes the flat
+// per-node adjacency arrays the hot paths iterate. Called once from Build;
+// the maps stay authoritative for key-based queries (Alpha, H).
+func (g *Graph) buildEdgeIndex() {
+	n := len(g.names)
+	ids := make(map[EdgeKey]int32, len(g.edgeAlpha))
+	g.succEdges = make([][]int32, n)
+	g.predEdges = make([][]int32, n)
+	for id := 0; id < n; id++ {
+		from := NodeID(id)
+		for _, to := range g.succs[id] {
+			key := EdgeKey{From: from, To: to}
+			ei := int32(len(g.edges))
+			ids[key] = ei
+			g.edges = append(g.edges, key)
+			g.alphaByID = append(g.alphaByID, g.edgeAlpha[key])
+			g.hByID = append(g.hByID, g.edgeH[key])
+			g.succEdges[id] = append(g.succEdges[id], ei)
+		}
+	}
+	for id := 0; id < n; id++ {
+		to := NodeID(id)
+		for _, from := range g.preds[id] {
+			g.predEdges[id] = append(g.predEdges[id], ids[EdgeKey{From: from, To: to}])
+		}
+		if len(g.preds[id]) > g.maxInEdges {
+			g.maxInEdges = len(g.preds[id])
+		}
+	}
 }
 
 // topoSort runs Kahn's algorithm, returning an order or a cycle error.
@@ -309,6 +352,37 @@ func (g *Graph) Preds(id NodeID) []NodeID { return append([]NodeID(nil), g.preds
 // Succs returns the ordered successor list of a node.
 func (g *Graph) Succs(id NodeID) []NodeID { return append([]NodeID(nil), g.succs[id]...) }
 
+// PredsView returns the ordered predecessor list of a node without
+// copying. The slice aliases the Graph's internal storage and must be
+// treated as read-only; it is valid for the Graph's lifetime.
+func (g *Graph) PredsView(id NodeID) []NodeID { return g.preds[id] }
+
+// SuccsView returns the ordered successor list of a node without copying,
+// under the same read-only aliasing contract as PredsView.
+func (g *Graph) SuccsView(id NodeID) []NodeID { return g.succs[id] }
+
+// NumEdges returns the number of edges (the size of the dense edge-ID
+// space used by EdgeByID, PredEdgeIDs and SuccEdgeIDs).
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// EdgeByID returns the key of the edge with the given dense ID.
+func (g *Graph) EdgeByID(id int32) EdgeKey { return g.edges[id] }
+
+// AlphaByID returns the splitting weight of the edge with the given ID.
+func (g *Graph) AlphaByID(id int32) float64 { return g.alphaByID[id] }
+
+// HByID returns the throughput function of the edge with the given ID
+// (nil for source edges).
+func (g *Graph) HByID(id int32) ThroughputFunc { return g.hByID[id] }
+
+// PredEdgeIDs returns a node's incoming edge IDs in predecessor order.
+// Read-only view; aliases Graph storage.
+func (g *Graph) PredEdgeIDs(id NodeID) []int32 { return g.predEdges[id] }
+
+// SuccEdgeIDs returns a node's outgoing edge IDs in successor order.
+// Read-only view; aliases Graph storage.
+func (g *Graph) SuccEdgeIDs(id NodeID) []int32 { return g.succEdges[id] }
+
 // Alpha returns the capacity-splitting weight of edge e.
 func (g *Graph) Alpha(e EdgeKey) float64 { return g.edgeAlpha[e] }
 
@@ -316,11 +390,11 @@ func (g *Graph) Alpha(e EdgeKey) float64 { return g.edgeAlpha[e] }
 func (g *Graph) H(e EdgeKey) ThroughputFunc { return g.edgeH[e] }
 
 // FlowReport is the result of one steady-state evaluation of the DAG.
+// A report may be reused across evaluations via EvaluateInto, which
+// recycles its slices instead of allocating fresh ones.
 type FlowReport struct {
 	// Throughput is f(y): the total inflow into sinks (tuples/s).
 	Throughput float64
-	// EdgeFlows maps each edge to its carried throughput.
-	EdgeFlows map[EdgeKey]float64
 	// Inflow[i] is the total throughput arriving at operator index i.
 	Inflow []float64
 	// Demand[i] is Σ_{j∈S_i} h_{i,j}(e_i): the output the operator would
@@ -329,6 +403,12 @@ type FlowReport struct {
 	Demand []float64
 	// Output[i] is the actual (capacity-truncated) total emitted.
 	Output []float64
+
+	// flows[edgeID] is the per-edge carried throughput and inBuf the
+	// per-operator input working vector — internal scratch kept on the
+	// report so EvaluateInto runs allocation-free once warmed.
+	flows []float64
+	inBuf []float64
 }
 
 func (g *Graph) checkEvalArgs(rates, y []float64) error {
@@ -355,45 +435,72 @@ func (g *Graph) checkEvalArgs(rates, y []float64) error {
 // source index) and operator capacities y (by operator index), applying
 // the truncation of Eq. 4 along one topological pass.
 func (g *Graph) Evaluate(rates, y []float64) (*FlowReport, error) {
-	if err := g.checkEvalArgs(rates, y); err != nil {
+	rep := &FlowReport{}
+	if err := g.EvaluateInto(rep, rates, y); err != nil {
 		return nil, err
 	}
-	rep := &FlowReport{
-		EdgeFlows: make(map[EdgeKey]float64, len(g.edgeAlpha)),
-		Inflow:    make([]float64, len(g.operators)),
-		Demand:    make([]float64, len(g.operators)),
-		Output:    make([]float64, len(g.operators)),
+	return rep, nil
+}
+
+// EvaluateInto is Evaluate with caller-owned storage: rep's slices are
+// grown once and reused, so repeated evaluations (the per-slot violation
+// accounting, grid sweeps, brute-force optimum search) run allocation-free
+// after the first call. rep must not be shared between goroutines.
+//
+//lint:hotpath
+func (g *Graph) EvaluateInto(rep *FlowReport, rates, y []float64) error {
+	if err := g.checkEvalArgs(rates, y); err != nil {
+		return err
 	}
+	m := len(g.operators)
+	if cap(rep.Inflow) < m {
+		rep.Inflow = make([]float64, m)
+		rep.Demand = make([]float64, m)
+		rep.Output = make([]float64, m)
+	}
+	rep.Inflow = rep.Inflow[:m]
+	rep.Demand = rep.Demand[:m]
+	rep.Output = rep.Output[:m]
+	clear(rep.Inflow)
+	clear(rep.Demand)
+	clear(rep.Output)
+	if cap(rep.flows) < len(g.edges) {
+		rep.flows = make([]float64, len(g.edges))
+	}
+	flows := rep.flows[:len(g.edges)]
+	clear(flows)
+	if cap(rep.inBuf) < g.maxInEdges {
+		rep.inBuf = make([]float64, g.maxInEdges)
+	}
+	rep.Throughput = 0
 	for _, id := range g.topo {
 		switch g.kinds[id] {
 		case Source:
 			rate := rates[g.srcIndex[id]]
-			for _, s := range g.succs[id] {
-				key := EdgeKey{From: id, To: s}
-				rep.EdgeFlows[key] = g.edgeAlpha[key] * rate
+			for _, ei := range g.succEdges[id] {
+				flows[ei] = g.alphaByID[ei] * rate
 			}
 		case Operator:
 			oi := g.opIndex[id]
-			in := make([]float64, len(g.preds[id]))
-			for k, p := range g.preds[id] {
-				in[k] = rep.EdgeFlows[EdgeKey{From: p, To: id}]
+			in := rep.inBuf[:len(g.predEdges[id])]
+			for k, ei := range g.predEdges[id] {
+				in[k] = flows[ei]
 				rep.Inflow[oi] += in[k]
 			}
-			for _, s := range g.succs[id] {
-				key := EdgeKey{From: id, To: s}
-				want := g.edgeH[key].Eval(in)
+			for _, ei := range g.succEdges[id] {
+				want := g.hByID[ei].Eval(in)
 				rep.Demand[oi] += want
-				flow := math.Min(g.edgeAlpha[key]*y[oi], want)
-				rep.EdgeFlows[key] = flow
+				flow := math.Min(g.alphaByID[ei]*y[oi], want)
+				flows[ei] = flow
 				rep.Output[oi] += flow
 			}
 		case Sink:
-			for _, p := range g.preds[id] {
-				rep.Throughput += rep.EdgeFlows[EdgeKey{From: p, To: id}]
+			for _, ei := range g.predEdges[id] {
+				rep.Throughput += flows[ei]
 			}
 		}
 	}
-	return rep, nil
+	return nil
 }
 
 // Throughput is shorthand for Evaluate(...).Throughput.
@@ -410,34 +517,33 @@ func (g *Graph) Throughput(rates, y []float64) (float64, error) {
 // Σ_{j∈S_i} h_{i,j}(e_i) (the unconstrained desired output used by the
 // soft-constraints of Eq. 11).
 func (g *Graph) evalTape(t *autodiff.Tape, rates []float64, vars []autodiff.Value) (f autodiff.Value, demand []autodiff.Value) {
-	flows := make(map[EdgeKey]autodiff.Value, len(g.edgeAlpha))
+	flows := make([]autodiff.Value, len(g.edges))
+	inBuf := make([]autodiff.Value, g.maxInEdges)
 	demand = make([]autodiff.Value, len(g.operators))
 	total := t.Const(0)
 	for _, id := range g.topo {
 		switch g.kinds[id] {
 		case Source:
 			rate := rates[g.srcIndex[id]]
-			for _, s := range g.succs[id] {
-				key := EdgeKey{From: id, To: s}
-				flows[key] = t.Const(g.edgeAlpha[key] * rate)
+			for _, ei := range g.succEdges[id] {
+				flows[ei] = t.Const(g.alphaByID[ei] * rate)
 			}
 		case Operator:
 			oi := g.opIndex[id]
-			in := make([]autodiff.Value, len(g.preds[id]))
-			for k, p := range g.preds[id] {
-				in[k] = flows[EdgeKey{From: p, To: id}]
+			in := inBuf[:len(g.predEdges[id])]
+			for k, ei := range g.predEdges[id] {
+				in[k] = flows[ei]
 			}
 			dem := t.Const(0)
-			for _, s := range g.succs[id] {
-				key := EdgeKey{From: id, To: s}
-				want := g.edgeH[key].EvalAD(t, in)
+			for _, ei := range g.succEdges[id] {
+				want := g.hByID[ei].EvalAD(t, in)
 				dem = dem.Add(want)
-				flows[key] = vars[oi].Scale(g.edgeAlpha[key]).Min(want)
+				flows[ei] = vars[oi].Scale(g.alphaByID[ei]).Min(want)
 			}
 			demand[oi] = dem
 		case Sink:
-			for _, p := range g.preds[id] {
-				total = total.Add(flows[EdgeKey{From: p, To: id}])
+			for _, ei := range g.predEdges[id] {
+				total = total.Add(flows[ei])
 			}
 		}
 	}

@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dragster/internal/chaos"
+	"dragster/internal/workload"
+)
+
+func parallelScenario(t *testing.T) Scenario {
+	t.Helper()
+	spec := wordcount(t)
+	rates, err := workload.Constant(spec.HighRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Scenario{
+		Spec:        spec,
+		Rates:       rates,
+		Slots:       6,
+		SlotSeconds: 60,
+	}
+}
+
+// resultJSON renders one run to comparable bytes: the counter registry
+// via its deterministic string (it carries a mutex), the rest via JSON.
+// It nils the Counters field, so fingerprint each result only once.
+func resultJSON(t *testing.T, res *Result) string {
+	t.Helper()
+	cs := res.Counters.String()
+	res.Counters = nil
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return string(b) + "\n" + cs
+}
+
+func repeatFingerprint(t *testing.T, rr *RepeatResult) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, res := range rr.Runs {
+		sb.WriteString(resultJSON(t, res))
+	}
+	b, err := json.Marshal(rr)
+	if err != nil {
+		t.Fatalf("marshal repeat result: %v", err)
+	}
+	return string(b) + "\n" + sb.String()
+}
+
+// TestRepeatWorkersByteIdentical is the determinism property behind the
+// parallel fan-out: the same seed set must produce byte-identical
+// per-seed results and aggregates at every worker count, with and
+// without a chaos schedule in the loop.
+func TestRepeatWorkersByteIdentical(t *testing.T) {
+	seeds := []int64{2, 5, 9}
+	cases := []struct {
+		name string
+		spec func() *chaos.Spec
+	}{
+		{"plain", func() *chaos.Spec { return nil }},
+		{"chaos", func() *chaos.Spec {
+			return chaos.NewSpec("parallel-chaos").CrashLastNode(2).HealNode(4).BlackoutMetrics(3, 1)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var want string
+			for _, workers := range []int{1, 2, 4} {
+				sc := parallelScenario(t)
+				sc.Chaos = tc.spec()
+				rr, err := RepeatWorkers(sc, DragsterSaddle(), seeds, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				got := repeatFingerprint(t, rr)
+				if workers == 1 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("workers=%d produced different bytes than workers=1 (lengths %d vs %d)",
+						workers, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestSweepByteIdentical pins the same property for Sweep across mixed
+// policies and seeds: results come back in input order, byte-identical
+// at any worker count.
+func TestSweepByteIdentical(t *testing.T) {
+	mkPoints := func() []SweepPoint {
+		mk := func(seed int64) Scenario {
+			sc := parallelScenario(t)
+			sc.Seed = seed
+			return sc
+		}
+		return []SweepPoint{
+			{Name: "saddle", Scenario: mk(2), Factory: DragsterSaddle()},
+			{Name: "ogd", Scenario: mk(3), Factory: DragsterOGD()},
+			{Name: "dhalion", Scenario: mk(4), Factory: DhalionPolicy()},
+		}
+	}
+	var want []string
+	for _, workers := range []int{1, 4} {
+		points := mkPoints()
+		runs, err := Sweep(points, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(runs) != len(points) {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(runs), len(points))
+		}
+		got := make([]string, len(runs))
+		for i, res := range runs {
+			if res.Policy == "" {
+				t.Fatalf("workers=%d: point %d (%s) missing result", workers, i, points[i].Name)
+			}
+			got[i] = resultJSON(t, res)
+		}
+		if workers == 1 {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d: point %d (%s) differs from sequential run", workers, i, points[i].Name)
+			}
+		}
+	}
+}
+
+// TestRepeatWorkersErrorIsSeedOrdered pins the failure contract: when
+// several seeds fail, the reported error is the lowest-index one, the
+// same a sequential Repeat would surface first.
+func TestRepeatWorkersErrorIsSeedOrdered(t *testing.T) {
+	sc := parallelScenario(t)
+	sc.InitialTasks = []int{1} // wrong arity: every seed fails in NewRunner
+	_, err := RepeatWorkers(sc, DragsterSaddle(), []int64{3, 7, 11}, 4)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "seed 3:") {
+		t.Errorf("error %q does not name the first seed", err)
+	}
+}

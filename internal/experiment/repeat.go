@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"errors"
 	"fmt"
 	"math"
 )
@@ -59,22 +58,19 @@ type RepeatResult struct {
 	MeanLatencySec  Aggregate
 }
 
-// Repeat runs the scenario under the policy once per seed and aggregates
-// the headline metrics. The scenario's own Seed field is ignored.
+// Repeat runs the scenario under the policy once per seed — in parallel,
+// one worker per CPU (see RepeatWorkers) — and aggregates the headline
+// metrics. The scenario's own Seed field is ignored.
 func Repeat(sc Scenario, factory PolicyFactory, seeds []int64) (*RepeatResult, error) {
-	if len(seeds) == 0 {
-		return nil, errors.New("experiment: Repeat needs at least one seed")
-	}
-	out := &RepeatResult{}
+	return RepeatWorkers(sc, factory, seeds, 0)
+}
+
+// aggregateRuns folds completed per-seed runs, in seed order, into the
+// headline aggregates.
+func aggregateRuns(runs []*Result) (*RepeatResult, error) {
+	out := &RepeatResult{Runs: runs}
 	var convs, processed, costs, lats []float64
-	for _, seed := range seeds {
-		s := sc
-		s.Seed = seed
-		res, err := Run(s, factory)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: seed %d: %w", seed, err)
-		}
-		out.Runs = append(out.Runs, res)
+	for _, res := range runs {
 		conv, err := ConvergenceMinutes(res)
 		if err != nil {
 			return nil, err

@@ -366,6 +366,11 @@ type Runner struct {
 	res     *Result
 	slot    int
 	skipped int
+
+	// Per-slot working storage, grown once and reused by Step so the
+	// steady-state/violation bookkeeping allocates nothing per round.
+	capsBuf []float64
+	frep    dag.FlowReport
 }
 
 // NewRunner validates the scenario, builds the full stack (cluster, Flink
@@ -550,7 +555,12 @@ func (r *Runner) Step() (*SlotTrace, error) {
 	cpuNow := r.job.EffectiveCPUMilli()
 	// Ground-truth capacities at the current allocation (CPU-aware when
 	// the models support it), for steady-state and violation accounting.
-	caps := make([]float64, m)
+	// One EvaluateInto into reused runner storage covers both the steady
+	// throughput and the per-operator demand.
+	if cap(r.capsBuf) < m {
+		r.capsBuf = make([]float64, m)
+	}
+	caps := r.capsBuf[:m]
 	for i, n := range tasksNow {
 		if ra, ok := spec.Models[i].(streamsim.ResourceAware); ok && cpuNow[i] > 0 {
 			caps[i] = ra.CapacityWithCPU(n, cpuNow[i])
@@ -558,17 +568,14 @@ func (r *Runner) Step() (*SlotTrace, error) {
 			caps[i] = spec.Models[i].Capacity(n)
 		}
 	}
-	steady, err := g.Throughput(rates, caps)
-	if err != nil {
+	if err := g.EvaluateInto(&r.frep, rates, caps); err != nil {
 		return nil, err
 	}
-	frep, err := g.Evaluate(rates, caps)
-	if err != nil {
-		return nil, err
-	}
+	steady := r.frep.Throughput
+	// Violations are retained in the slot trace, so they stay per-slot.
 	viol := make([]float64, m)
 	for i := range viol {
-		viol[i] = frep.Demand[i] - caps[i]
+		viol[i] = r.frep.Demand[i] - caps[i]
 	}
 
 	tr := SlotTrace{

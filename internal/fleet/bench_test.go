@@ -1,0 +1,49 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"dragster/internal/workload"
+)
+
+// benchmarkFleetRound measures one fleet round (simulate every tenant's
+// slot, collect, decide concurrently, apply, record) at the given tenant
+// count. Manager construction happens outside the timer; each b.N
+// iteration is exactly one Step.
+func benchmarkFleetRound(b *testing.B, jobs int) {
+	b.Helper()
+	specs := make([]JobSpec, jobs)
+	for i := range specs {
+		spec, err := workload.WordCount()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rates, err := workload.Constant(spec.LowRates)
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs[i] = JobSpec{Name: fmt.Sprintf("job-%03d", i), Workload: spec, Rates: rates}
+	}
+	m, err := New(Config{
+		Jobs:            specs,
+		Slots:           b.N,
+		SlotSeconds:     30,
+		Seed:            3,
+		TotalTaskBudget: 4 * jobs,
+		MaxQueue:        jobs,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFleetRound10Jobs(b *testing.B)  { benchmarkFleetRound(b, 10) }
+func BenchmarkFleetRound100Jobs(b *testing.B) { benchmarkFleetRound(b, 100) }

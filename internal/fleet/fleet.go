@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"dragster/internal/chaos"
@@ -209,6 +210,11 @@ type Config struct {
 	Tracer *telemetry.Tracer
 	// ForecastAlpha enables Holt load forecasting in every controller.
 	ForecastAlpha float64
+	// DecideWorkers bounds the per-round controller fan-out: each round's
+	// independent tenant decisions run on this many goroutines (0 = one
+	// per CPU). The reduction is always in admission order, so the result
+	// is byte-identical at any worker count; a Tracer forces 1.
+	DecideWorkers int
 }
 
 func (c *Config) setDefaults() error {
@@ -248,6 +254,9 @@ func (c *Config) setDefaults() error {
 	}
 	if c.NoiseSigma < 0 || c.UtilNoiseSigma < 0 {
 		return errors.New("fleet: negative noise")
+	}
+	if c.DecideWorkers < 0 {
+		return errors.New("fleet: negative DecideWorkers")
 	}
 	if c.TotalTaskBudget < 1 {
 		return errors.New("fleet: TotalTaskBudget must be ≥ 1")
@@ -803,10 +812,14 @@ type decision struct {
 
 // decideAll runs every controller's Algorithm-2 pass for the round. The
 // controllers are independent (each owns its GPs, duals, and a private
-// history DB), so with no tracer installed the passes run concurrently —
-// the registry and counters they share are concurrent-safe and
-// order-insensitive, keeping results deterministic. A tracer serializes
-// the fan-out because span emission is single-threaded by contract.
+// history DB), so with no tracer installed the passes fan across a
+// bounded pool of Config.DecideWorkers goroutines (0 = one per CPU), each
+// worker owning the strided subset i, i+W, i+2W, … of the tenant list —
+// the registry and counters the controllers share are concurrent-safe and
+// order-insensitive, and results land in per-tenant slots reduced in
+// admission order, keeping the round byte-identical at any worker count.
+// A tracer serializes the fan-out because span emission is
+// single-threaded by contract.
 func (m *Manager) decideAll(snaps []*monitor.Snapshot) ([]decision, error) {
 	out := make([]decision, len(m.running))
 	errs := make([]error, len(m.running))
@@ -822,21 +835,34 @@ func (m *Manager) decideAll(snaps []*monitor.Snapshot) ([]decision, error) {
 		}
 		out[i] = decision{desired: desired, diag: diag}
 	}
-	if m.tracer == nil {
-		var wg sync.WaitGroup
-		for i := range m.running {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				decideOne(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
+	workers := m.cfg.DecideWorkers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(m.running) {
+		workers = len(m.running)
+	}
+	if m.tracer != nil {
+		workers = 1
+	}
+	if workers <= 1 {
 		for i := range m.running {
 			decideOne(i)
 		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(m.running); i += workers {
+					decideOne(i)
+				}
+			}(w)
+		}
+		wg.Wait()
 	}
+	// First failure in admission order wins, matching a sequential pass.
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

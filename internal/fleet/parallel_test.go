@@ -1,0 +1,41 @@
+package fleet
+
+import (
+	"testing"
+
+	"dragster/internal/chaos"
+)
+
+// TestFleetDecideWorkersByteIdentical pins the determinism property of
+// the bounded per-round decide fan-out: any DecideWorkers setting must
+// reproduce the sequential result byte for byte, with and without a
+// cluster-level chaos schedule.
+func TestFleetDecideWorkersByteIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		spec func() *chaos.Spec
+	}{
+		{"plain", func() *chaos.Spec { return nil }},
+		{"chaos", func() *chaos.Spec {
+			return chaos.NewSpec("fleet-parallel").CrashLastNode(3).HealNode(5)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var want string
+			for _, workers := range []int{1, 2, 4} {
+				cfg := threeJobConfig(t)
+				cfg.DecideWorkers = workers
+				cfg.Chaos = tc.spec()
+				got := resultFingerprint(t, runFleet(t, cfg))
+				if workers == 1 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("DecideWorkers=%d produced different bytes than DecideWorkers=1", workers)
+				}
+			}
+		})
+	}
+}

@@ -159,6 +159,10 @@ type Monitor struct {
 	tracer      *telemetry.Tracer
 	collected   bool
 	lastSlot    int
+
+	// snapBuf is the snapshot returned by Collect, reused call to call
+	// (see Collect's aliasing contract).
+	snapBuf Snapshot
 }
 
 // New returns a Monitor over the given source.
@@ -186,6 +190,11 @@ func (m *Monitor) SetTracer(tr *telemetry.Tracer) { m.tracer = tr }
 // stale repeat — the job produced no new data since the previous Collect —
 // and yields an error wrapping ErrNoSample instead of silently re-serving
 // old measurements.
+//
+// The returned snapshot aliases monitor-owned storage that is overwritten
+// by the next successful Collect — the same read-only borrowing contract
+// as streamsim's TickStats.Ops and cluster's PodMetrics. Callers that
+// keep it past the next Collect must copy it first.
 func (m *Monitor) Collect() (*Snapshot, error) {
 	rep, err := m.src.Fetch()
 	if err != nil {
@@ -215,18 +224,26 @@ func (m *Monitor) Collect() (*Snapshot, error) {
 	}
 	m.collected = true
 	m.lastSlot = rep.Slot
-	snap := &Snapshot{
+	snap := &m.snapBuf
+	if cap(snap.SourceRates) < len(rep.SourceRates) {
+		snap.SourceRates = make([]float64, len(rep.SourceRates))
+	}
+	if cap(snap.Operators) < len(rep.Vertices) {
+		snap.Operators = make([]OperatorMetrics, len(rep.Vertices))
+	}
+	*snap = Snapshot{
 		Slot:            rep.Slot,
 		Throughput:      rep.Throughput,
 		ProcessedTuples: rep.ProcessedTuples,
 		DroppedTuples:   rep.DroppedTuples,
 		PausedSeconds:   rep.PausedSeconds,
 		Cost:            rep.CostSoFar,
-		SourceRates:     append([]float64(nil), rep.SourceRates...),
+		SourceRates:     snap.SourceRates[:len(rep.SourceRates)],
 		AvgLatencySec:   rep.AvgLatencySec,
 		MaxLatencySec:   rep.MaxLatencySec,
-		Operators:       make([]OperatorMetrics, len(rep.Vertices)),
+		Operators:       snap.Operators[:len(rep.Vertices)],
 	}
+	copy(snap.SourceRates, rep.SourceRates)
 	for i, v := range rep.Vertices {
 		util := v.Util
 		if util < m.cfg.MinUtil {

@@ -93,6 +93,10 @@ type Topology struct {
 
 	slot       int
 	lastReport *telemetry.SlotReport
+
+	// depUtil is reportPodUsage's deployment→utilization working map,
+	// cleared and refilled once per tick instead of allocated per call.
+	depUtil map[string]float64
 }
 
 // SubmitTopology deploys a topology: one supervisor deployment per bolt
@@ -258,19 +262,27 @@ func (t *Topology) RunSlot(seconds int, rateAt func(sec int) []float64) (*teleme
 	return rep, nil
 }
 
+// reportPodUsage mirrors flink.Job.reportPodUsage: per-tick usage fan-out
+// over a reused deployment map and the cluster's no-copy pod view.
+//
+//lint:hotpath
 func (t *Topology) reportPodUsage(ops []streamsim.OpTick) error {
-	byDep := make(map[string]float64, len(t.deps))
-	for i, dep := range t.deps {
-		byDep[dep] = ops[i].Util
+	if t.depUtil == nil {
+		t.depUtil = make(map[string]float64, len(t.deps))
 	}
-	for _, p := range t.storm.k8s.Pods() {
-		util, ok := byDep[p.Deployment]
+	clear(t.depUtil)
+	for i, dep := range t.deps {
+		t.depUtil[dep] = ops[i].Util
+	}
+	for _, p := range t.storm.k8s.PodsView() {
+		util, ok := t.depUtil[p.Deployment]
 		if !ok || p.Phase != cluster.PodRunning {
 			continue
 		}
 		if err := t.storm.k8s.ReportCPUUsage(p.Name, int(util*float64(p.Spec.CPUMilli))); err != nil {
 			// Only ErrUnknownPod is possible, and only if the pod list went
 			// stale mid-loop — a real bug worth surfacing, not swallowing.
+			//lint:allow hotpath cold error path: unknown pod is a cluster bug, never hit in steady state
 			return fmt.Errorf("storm: report usage for %s: %w", p.Name, err)
 		}
 	}

@@ -65,10 +65,22 @@ type Engine struct {
 	tasks []int
 	cpu   []int // per-pod CPU millicores per operator (default 1000)
 
-	edgeBuf   map[dag.EdgeKey]float64 // backlog on edges into operators/sinks
-	slotNoise []float64               // capacity factor per operator, redrawn per slot
-	order     []dag.NodeID            // cached topological order (operators+sinks)
-	pause     int                     // remaining pause ticks
+	slotNoise []float64    // capacity factor per operator, redrawn per slot
+	order     []dag.NodeID // cached topological order (operators+sinks)
+	pause     int          // remaining pause ticks
+
+	// Flattened dataflow plan, precomputed at New from the graph's dense
+	// edge index so the per-tick loops do no map lookups and no
+	// Preds/Succs copies. Edge IDs are the graph's (dag.Graph.EdgeByID);
+	// all adjacency slices below are read-only views into the graph or
+	// engine-owned arrays built once.
+	edgeBuf   []float64            // backlog per edge ID
+	edgeAlpha []float64            // α per edge ID
+	edgeH     []dag.ThroughputFunc // h per edge ID (nil for source edges)
+	edgeToOp  []int32              // dense operator index of the edge head, -1 otherwise
+	srcEdges  [][]int32            // outgoing edge IDs per dense source index
+	steps     []tickStep           // order's nodes with their adjacency, in order
+	opPreds   [][]int32            // incoming edge IDs per dense operator index
 
 	// Per-tick scratch buffers: Tick runs once per simulated second, so
 	// its working slices are grown once and reused instead of allocated
@@ -80,6 +92,15 @@ type Engine struct {
 
 	dropped   float64
 	processed float64 // cumulative sink throughput
+}
+
+// tickStep is one node of the per-tick topological walk: an operator that
+// drains its input edges or a sink that absorbs them.
+type tickStep struct {
+	kind  dag.Kind
+	op    int32   // dense operator index when kind == dag.Operator
+	preds []int32 // incoming edge IDs, predecessor order
+	succs []int32 // outgoing edge IDs, successor order
 }
 
 // New validates cfg and returns an Engine with all parallelism at 1 and
@@ -107,7 +128,6 @@ func New(cfg Config) (*Engine, error) {
 		g:         cfg.Graph,
 		tasks:     make([]int, cfg.Graph.NumOperators()),
 		cpu:       make([]int, cfg.Graph.NumOperators()),
-		edgeBuf:   make(map[dag.EdgeKey]float64),
 		slotNoise: make([]float64, cfg.Graph.NumOperators()),
 	}
 	for i := range e.tasks {
@@ -118,7 +138,43 @@ func New(cfg Config) (*Engine, error) {
 		e.slotNoise[i] = 1
 	}
 	e.order = topoOperatorsAndSinks(cfg.Graph)
+	e.buildPlan()
 	return e, nil
+}
+
+// buildPlan materializes the flattened per-tick plan from the graph's
+// dense edge index: one pass at construction so Tick, tickOperator and
+// addToEdge run on arrays with no map lookups or adjacency copies.
+func (e *Engine) buildPlan() {
+	g := e.g
+	nEdges := g.NumEdges()
+	e.edgeBuf = make([]float64, nEdges)
+	e.edgeAlpha = make([]float64, nEdges)
+	e.edgeH = make([]dag.ThroughputFunc, nEdges)
+	e.edgeToOp = make([]int32, nEdges)
+	for ei := 0; ei < nEdges; ei++ {
+		id := int32(ei)
+		e.edgeAlpha[ei] = g.AlphaByID(id)
+		e.edgeH[ei] = g.HByID(id)
+		e.edgeToOp[ei] = int32(g.OperatorIndex(g.EdgeByID(id).To))
+	}
+	e.srcEdges = make([][]int32, g.NumSources())
+	for si, src := range g.Sources() {
+		e.srcEdges[si] = g.SuccEdgeIDs(src)
+	}
+	e.steps = make([]tickStep, len(e.order))
+	for i, id := range e.order {
+		e.steps[i] = tickStep{
+			kind:  g.KindOf(id),
+			op:    int32(g.OperatorIndex(id)),
+			preds: g.PredEdgeIDs(id),
+			succs: g.SuccEdgeIDs(id),
+		}
+	}
+	e.opPreds = make([][]int32, g.NumOperators())
+	for _, id := range g.Operators() {
+		e.opPreds[g.OperatorIndex(id)] = g.PredEdgeIDs(id)
+	}
 }
 
 // SetTasks applies a new parallelism vector (dense operator index order).
@@ -140,6 +196,13 @@ func (e *Engine) SetTasks(tasks []int) error {
 // Tasks returns a copy of the current parallelism vector.
 func (e *Engine) Tasks() []int { return append([]int(nil), e.tasks...) }
 
+// TasksView returns the current parallelism vector without copying. The
+// slice aliases Engine state: it is read-only and only valid until the
+// next SetTasks — the same aliasing contract as TickStats.Ops. Callers on
+// the controller loop use it to avoid a per-round allocation; anything
+// that retains the values must copy them (or call Tasks).
+func (e *Engine) TasksView() []int { return e.tasks }
+
 // SetCPU applies per-pod CPU allocations (millicores, dense operator
 // index order). Only models implementing ResourceAware react; others keep
 // their task-count capacity.
@@ -158,6 +221,10 @@ func (e *Engine) SetCPU(cpuMilli []int) error {
 
 // CPU returns a copy of the per-pod CPU vector.
 func (e *Engine) CPU() []int { return append([]int(nil), e.cpu...) }
+
+// CPUView returns the per-pod CPU vector without copying, under the same
+// read-only aliasing contract as TasksView (valid until the next SetCPU).
+func (e *Engine) CPUView() []int { return e.cpu }
 
 // capacityOf evaluates operator i's ground-truth capacity under the
 // current (tasks, cpu) allocation.
@@ -223,13 +290,13 @@ func (e *Engine) ProcessedTotal() float64 { return e.processed }
 
 // BufferedTotal returns the backlog summed over all edges. Edges are
 // visited in topological order so the float sum is identical across runs
-// (map iteration order would make the rounding, and thus rendered
-// figures, nondeterministic).
+// (an order-free reduction would make the rounding, and thus rendered
+// figures, depend on iteration order).
 func (e *Engine) BufferedTotal() float64 {
 	var s float64
-	for _, id := range e.order {
-		for _, p := range e.g.Preds(id) {
-			s += e.edgeBuf[dag.EdgeKey{From: p, To: id}]
+	for i := range e.steps {
+		for _, ei := range e.steps[i].preds {
+			s += e.edgeBuf[ei]
 		}
 	}
 	return s
@@ -253,15 +320,14 @@ func (e *Engine) Tick(rates []float64) (TickStats, error) {
 	st := TickStats{Ops: ops}
 
 	// Sources always emit: backlog accumulates during pauses.
-	for si, src := range e.g.Sources() {
+	for si := range e.srcEdges {
 		rate := rates[si]
 		if rate < 0 || math.IsNaN(rate) {
 			//lint:allow hotpath cold validation guard: invalid rates abort the run, never hit in steady state
 			return TickStats{}, fmt.Errorf("streamsim: invalid rate %v for source %d", rate, si)
 		}
-		for _, succ := range e.g.Succs(src) {
-			key := dag.EdgeKey{From: src, To: succ}
-			e.addToEdge(key, e.g.Alpha(key)*rate, &st)
+		for _, ei := range e.srcEdges[si] {
+			e.addToEdge(ei, e.edgeAlpha[ei]*rate, &st)
 		}
 	}
 
@@ -280,15 +346,15 @@ func (e *Engine) Tick(rates []float64) (TickStats, error) {
 	}
 
 	// Operators in topological order. Sinks absorb flows as they appear.
-	for _, id := range e.order {
-		switch e.g.KindOf(id) {
+	for i := range e.steps {
+		step := &e.steps[i]
+		switch step.kind {
 		case dag.Operator:
-			e.tickOperator(id, &st)
+			e.tickOperator(step, &st)
 		case dag.Sink:
-			for _, p := range e.g.Preds(id) {
-				key := dag.EdgeKey{From: p, To: id}
-				st.SinkThroughput += e.edgeBuf[key]
-				e.edgeBuf[key] = 0
+			for _, ei := range step.preds {
+				st.SinkThroughput += e.edgeBuf[ei]
+				e.edgeBuf[ei] = 0
 			}
 		}
 	}
@@ -310,22 +376,22 @@ func (e *Engine) Tick(rates []float64) (TickStats, error) {
 	return st, nil
 }
 
-func (e *Engine) tickOperator(id dag.NodeID, st *TickStats) {
-	oi := e.g.OperatorIndex(id)
-	preds := e.g.Preds(id)
-	succs := e.g.Succs(id)
+func (e *Engine) tickOperator(step *tickStep, st *TickStats) {
+	oi := step.op
+	preds := step.preds
+	succs := step.succs
 
 	if cap(e.qBuf) < len(preds) {
 		e.qBuf = make([]float64, len(preds))
 	}
 	q := e.qBuf[:len(preds)]
 	var backlog float64
-	for k, p := range preds {
-		q[k] = e.edgeBuf[dag.EdgeKey{From: p, To: id}]
+	for k, ei := range preds {
+		q[k] = e.edgeBuf[ei]
 		backlog += q[k]
 	}
 
-	y := e.capacityOf(oi) * e.slotNoise[oi]
+	y := e.capacityOf(int(oi)) * e.slotNoise[oi]
 	op := &st.Ops[oi]
 	op.Capacity = y
 
@@ -341,13 +407,12 @@ func (e *Engine) tickOperator(id dag.NodeID, st *TickStats) {
 	demands := e.demBuf[:len(succs)]
 	phi := 1.0
 	anyDemand := false
-	for j, s := range succs {
-		key := dag.EdgeKey{From: id, To: s}
-		d := e.g.H(key).Eval(q)
+	for j, ei := range succs {
+		d := e.edgeH[ei].Eval(q)
 		demands[j] = d
 		if d > 0 {
 			anyDemand = true
-			r := e.g.Alpha(key) * y / d
+			r := e.edgeAlpha[ei] * y / d
 			if r < phi {
 				phi = r
 			}
@@ -362,18 +427,18 @@ func (e *Engine) tickOperator(id dag.NodeID, st *TickStats) {
 	}
 
 	var emitted float64
-	for j, s := range succs {
+	for j, ei := range succs {
 		out := phi * demands[j]
 		if out <= 0 {
 			continue
 		}
 		emitted += out
-		e.addToEdge(dag.EdgeKey{From: id, To: s}, out, st)
+		e.addToEdge(ei, out, st)
 	}
 	var consumed float64
-	for k, p := range preds {
+	for k, ei := range preds {
 		take := phi * q[k]
-		e.edgeBuf[dag.EdgeKey{From: p, To: id}] = q[k] - take
+		e.edgeBuf[ei] = q[k] - take
 		consumed += take
 	}
 
@@ -399,26 +464,28 @@ func (e *Engine) tickOperator(id dag.NodeID, st *TickStats) {
 
 // addToEdge appends flow to an edge buffer, enforcing the cap and counting
 // arrivals for the destination operator.
-func (e *Engine) addToEdge(key dag.EdgeKey, amount float64, st *TickStats) {
+func (e *Engine) addToEdge(ei int32, amount float64, st *TickStats) {
 	if amount <= 0 {
 		return
 	}
-	if oi := e.g.OperatorIndex(key.To); oi >= 0 {
+	if oi := e.edgeToOp[ei]; oi >= 0 {
 		st.Ops[oi].Arrived += amount
 	}
-	next := e.edgeBuf[key] + amount
+	next := e.edgeBuf[ei] + amount
 	if e.cfg.MaxBufferPerEdge > 0 && next > e.cfg.MaxBufferPerEdge {
 		e.dropped += next - e.cfg.MaxBufferPerEdge
 		next = e.cfg.MaxBufferPerEdge
 	}
-	e.edgeBuf[key] = next
+	e.edgeBuf[ei] = next
 }
 
+// opBacklog sums the backlog on an operator's input edges.
+//
+//lint:hotpath
 func (e *Engine) opBacklog(oi int) float64 {
-	id := e.g.Operators()[oi]
 	var s float64
-	for _, p := range e.g.Preds(id) {
-		s += e.edgeBuf[dag.EdgeKey{From: p, To: id}]
+	for _, ei := range e.opPreds[oi] {
+		s += e.edgeBuf[ei]
 	}
 	return s
 }
