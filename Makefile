@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-gp bench-e2e bench-e2e-gate bench-snapshot fuzz-smoke lint lint-sarif repro repro-quick examples clean
+.PHONY: all build test race cover bench bench-gp bench-e2e bench-e2e-gate bench-snapshot bench-flat fuzz-smoke lint lint-sarif repro repro-quick examples clean
 
 all: build test lint
 
@@ -48,6 +48,7 @@ cover:
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzNewCholesky -fuzztime 3s ./internal/linalg
 	$(GO) test -run NONE -fuzz FuzzCholeskyExtend -fuzztime 3s ./internal/linalg
+	$(GO) test -run NONE -fuzz FuzzCholeskyDowndate -fuzztime 3s ./internal/linalg
 	$(GO) test -run NONE -fuzz FuzzGraphBuild -fuzztime 3s ./internal/dag
 
 # Everything: the GP-stack micro-benchmarks and the end-to-end harness
@@ -56,7 +57,7 @@ bench: bench-gp bench-e2e
 
 # GP/linalg/UCB micro-benchmarks only (the optimizer inner loops).
 bench-gp:
-	$(GO) test -run NONE -bench 'Posterior|ObserveRefit|Select|MaximizeLML|Cholesky' -benchmem \
+	$(GO) test -run NONE -bench 'Posterior|Observe|Select|MaximizeLML|Cholesky' -benchmem \
 		./internal/gp ./internal/ucb ./internal/linalg
 
 # End-to-end harness benchmarks — full Run rounds/sec, the 8-seed Repeat
@@ -76,8 +77,18 @@ bench-e2e-gate:
 # UCB select, LML search, Cholesky) into BENCH_gp.json so perf PRs can
 # diff ns/op and allocs/op against the recorded trajectory.
 bench-snapshot:
-	$(GO) test -run NONE -bench 'Posterior|ObserveRefit|Select|MaximizeLML|Cholesky' -benchmem \
+	$(GO) test -run NONE -bench 'Posterior|Observe|Select|MaximizeLML|Cholesky' -benchmem \
 		./internal/gp ./internal/ucb ./internal/linalg | $(GO) run ./cmd/benchsnapshot -out BENCH_gp.json
+
+# Flat-horizon gate: inside the committed BENCH_gp.json, the 10k-warm
+# budgeted Observe/Select benchmarks must sit within 1.2× of their
+# 1k-warm twins — the bounded-memory posterior's whole point is that
+# per-round cost depends on the budget, not the horizon. Reads only the
+# snapshot, so CI can run it without timing jitter.
+bench-flat:
+	$(GO) run ./cmd/benchsnapshot -flat BENCH_gp.json \
+		-pair BenchmarkObserve1kBudget256=BenchmarkObserve10kBudget256 \
+		-pair BenchmarkSelect1kBudget256=BenchmarkSelect10kBudget256
 
 # Regenerate every paper table and figure at the paper's 10-minute slots.
 repro:

@@ -7,7 +7,7 @@
 //	benchmark -exp fig4 -slotsec 60    # one experiment, 1-minute slots
 //
 // Experiments: fig4, fig4budget, fig5, fig6, table2, fig7, table3,
-// regret, theorem2, robustness, ablation, fleet, all. At the paper's 10-minute
+// regret, theorem2, robustness, ablation, fleet, longhorizon, all. At the paper's 10-minute
 // slots (default -slotsec 600) the full suite simulates tens of hours of
 // cluster time and takes a few minutes of wall clock; -slotsec 60 gives a
 // quick pass with the same qualitative shapes.
@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig4|fig4budget|fig5|fig6|table2|fig7|table3|regret|theorem2|ds2|robustness|ablation|fleet|all")
+		exp        = flag.String("exp", "all", "experiment: fig4|fig4budget|fig5|fig6|table2|fig7|table3|regret|theorem2|ds2|robustness|ablation|fleet|longhorizon|all")
 		slotSec    = flag.Int("slotsec", 600, "slot length in simulated seconds (paper: 600)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		budget     = flag.Int("budget", 13, "task budget for fig4budget (paper: $1.6/h ≈ 13 TaskManager pods)")
@@ -158,6 +158,15 @@ func run(exp string, slotSec int, seed int64, budget int) error {
 				return err
 			}
 			experiment.RenderFleetBench(w, r)
+		case "longhorizon":
+			// Budgeted vs exact posteriors over 1200 rounds (the exact
+			// run dominates the wall clock — its per-round cost grows
+			// quadratically, which is the point of the table).
+			rs, err := experiment.LongHorizonSweep([]int{0, 64, 128, 256}, 1200, seed)
+			if err != nil {
+				return err
+			}
+			experiment.RenderLongHorizon(w, rs)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -167,7 +176,7 @@ func run(exp string, slotSec int, seed int64, budget int) error {
 	if exp != "all" {
 		return runOne(exp)
 	}
-	order := []string{"fig4", "fig4budget", "fig5", "fig6", "table2", "fig7", "table3", "regret", "theorem2", "ds2", "robustness", "ablation", "fleet"}
+	order := []string{"fig4", "fig4budget", "fig5", "fig6", "table2", "fig7", "table3", "regret", "theorem2", "ds2", "robustness", "ablation", "fleet", "longhorizon"}
 	for i, name := range order {
 		if i > 0 {
 			sep()

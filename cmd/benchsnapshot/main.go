@@ -12,6 +12,13 @@
 // lists but stdin lacks — fails the run with exit status 1. CI uses this
 // as the perf-regression tripwire.
 //
+// With -flat, the tool reads no stdin at all: it checks scaling pairs
+// *within* the committed snapshot. Each repeated -pair small=large flag
+// names two benchmarks that differ only in problem scale (e.g. 1k vs 10k
+// warm observations at a fixed observation budget); the large one must
+// stay within the tolerance factor of the small one's ns/op. This is how
+// CI proves the budgeted GP's per-round cost is flat in the horizon.
+//
 // Entries are emitted sorted by benchmark name (CPU-count suffixes like
 // "-8" stripped) so the file is deterministic for a given machine.
 package main
@@ -26,6 +33,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // benchLine matches e.g.
@@ -167,16 +175,86 @@ func gate(gatePath string, tolerance float64) error {
 	return nil
 }
 
+// pairList collects repeated -pair small=large flags.
+type pairList [][2]string
+
+func (p *pairList) String() string { return fmt.Sprint(*p) }
+
+func (p *pairList) Set(v string) error {
+	i := strings.IndexByte(v, '=')
+	if i <= 0 || i == len(v)-1 {
+		return fmt.Errorf("want small=large, got %q", v)
+	}
+	*p = append(*p, [2]string{v[:i], v[i+1:]})
+	return nil
+}
+
+// flat checks scaling pairs inside the committed snapshot: for each
+// small=large pair, large's ns/op must be ≤ tolerance × small's. Unlike
+// -gate this reads no fresh bench run — it pins a *structural* property
+// of the recorded numbers, so regenerating the snapshot with a cost that
+// grew in the horizon fails CI even though every individual benchmark
+// merely "changed".
+func flat(flatPath string, pairs pairList, tolerance float64) error {
+	if len(pairs) == 0 {
+		return fmt.Errorf("benchsnapshot: -flat needs at least one -pair small=large")
+	}
+	if tolerance < 1 {
+		return fmt.Errorf("benchsnapshot: -tolerance %g < 1 would reject identical results", tolerance)
+	}
+	data, err := os.ReadFile(flatPath)
+	if err != nil {
+		return fmt.Errorf("benchsnapshot: %w", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("benchsnapshot: parsing %s: %w", flatPath, err)
+	}
+	byName := make(map[string]Entry, len(snap.Benchmarks))
+	for _, e := range snap.Benchmarks {
+		byName[e.Name] = e
+	}
+	failures := 0
+	for _, p := range pairs {
+		small, okS := byName[p[0]]
+		large, okL := byName[p[1]]
+		if !okS || !okL {
+			fmt.Fprintf(os.Stderr, "FAIL %s=%s: missing from %s\n", p[0], p[1], flatPath)
+			failures++
+			continue
+		}
+		ratio := large.NsPerOp / small.NsPerOp
+		status := "ok  "
+		if large.NsPerOp > small.NsPerOp*tolerance {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(os.Stderr, "%s %s → %s: %.0f vs %.0f ns/op (%.2fx, limit %.2fx)\n",
+			status, p[0], p[1], small.NsPerOp, large.NsPerOp, ratio, tolerance)
+	}
+	if failures > 0 {
+		return fmt.Errorf("benchsnapshot: %d pair(s) in %s scale past %.2fx — per-op cost is not flat", failures, flatPath, tolerance)
+	}
+	fmt.Fprintf(os.Stderr, "benchsnapshot: %d pair(s) flat within %.2fx in %s\n", len(pairs), tolerance, flatPath)
+	return nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_gp.json", "output path (- for stdout)")
 	label := flag.String("label", "make bench-snapshot", "generated_by stamp written into the snapshot")
 	gatePath := flag.String("gate", "", "compare stdin against this snapshot instead of writing one; exit 1 on regression")
-	tolerance := flag.Float64("tolerance", 1.2, "with -gate, maximum allowed ns/op ratio vs the snapshot")
+	flatPath := flag.String("flat", "", "check -pair scaling pairs inside this snapshot (no stdin); exit 1 if any pair is not flat")
+	tolerance := flag.Float64("tolerance", 1.2, "with -gate or -flat, maximum allowed ns/op ratio")
+	var pairs pairList
+	flag.Var(&pairs, "pair", "with -flat, a small=large benchmark pair whose ns/op must match within the tolerance (repeatable)")
 	flag.Parse()
 	var err error
-	if *gatePath != "" {
+	switch {
+	case *flatPath != "":
+		err = flat(*flatPath, pairs, *tolerance)
+	case *gatePath != "":
 		err = gate(*gatePath, *tolerance)
-	} else {
+	default:
 		err = run(*out, *label)
 	}
 	if err != nil {

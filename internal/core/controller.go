@@ -84,6 +84,15 @@ type Config struct {
 	// count yields byte-identical kernels; this knob only trades refit
 	// latency against CPU.
 	HyperoptWorkers int
+	// GPObservationBudget caps the observations each operator's GP
+	// retains (0 = unlimited). With a budget, per-slot cost and memory
+	// stay flat over unbounded horizons — the month-long deployments the
+	// ROADMAP targets — at the price of an approximate (retained-set)
+	// posterior; see DESIGN.md "Bounded-memory posterior".
+	GPObservationBudget int
+	// GPEviction picks which observation a full budget drops (default
+	// gp.EvictLowestInformation; gp.EvictOldest is the sliding window).
+	GPEviction gp.EvictionPolicy
 	// RNG supplies posterior draws when Acquisition is ucb.Thompson
 	// (ignored otherwise).
 	RNG *stats.RNG
@@ -177,6 +186,9 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.HyperoptEvery < 0 {
 		return nil, errors.New("core: negative HyperoptEvery")
 	}
+	if cfg.GPObservationBudget < 0 {
+		return nil, errors.New("core: negative GPObservationBudget")
+	}
 	if cfg.ForecastAlpha < 0 || cfg.ForecastAlpha >= 1 {
 		return nil, errors.New("core: ForecastAlpha outside [0, 1)")
 	}
@@ -222,15 +234,17 @@ func New(cfg Config) (*Controller, error) {
 	capScale := cfg.YMax // kernel variance in capacity units²
 	for i := 0; i < m; i++ {
 		s, err := ucb.NewSearcher(ucb.Config{
-			NoiseVar:         cfg.NoiseVar,
-			Candidates:       cfg.Candidates[i],
-			Delta:            cfg.Delta,
-			Acquisition:      cfg.Acquisition,
-			Kernel:           capacityKernel(cfg.Candidates[i], capScale),
-			ExplorationScale: cfg.ExplorationScale,
-			RefitEvery:       cfg.HyperoptEvery,
-			LMLWorkers:       cfg.HyperoptWorkers,
-			RNG:              cfg.RNG,
+			NoiseVar:          cfg.NoiseVar,
+			Candidates:        cfg.Candidates[i],
+			Delta:             cfg.Delta,
+			Acquisition:       cfg.Acquisition,
+			Kernel:            capacityKernel(cfg.Candidates[i], capScale),
+			ExplorationScale:  cfg.ExplorationScale,
+			RefitEvery:        cfg.HyperoptEvery,
+			LMLWorkers:        cfg.HyperoptWorkers,
+			RNG:               cfg.RNG,
+			ObservationBudget: cfg.GPObservationBudget,
+			Eviction:          cfg.GPEviction,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: operator %d searcher: %w", i, err)

@@ -311,3 +311,34 @@ func TestDecideWithUnknownOperatorCountErrors(t *testing.T) {
 		t.Errorf("err = %v", err)
 	}
 }
+
+func TestGPObservationBudgetCapsRetainedSet(t *testing.T) {
+	// A tight budget must bound every operator's retained observations no
+	// matter how many slots run — the flat-memory contract behind the
+	// long-horizon scenario (experiment.LongHorizon).
+	c := newController(t, func(cfg *Config) { cfg.GPObservationBudget = 5 })
+	rng := stats.NewRNG(5)
+	tasks := []int{1, 1}
+	for slot := 0; slot < 30; slot++ {
+		next, err := c.Decide(snapshotAt(slot, 300, tasks, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = next
+	}
+	for i := 0; i < 2; i++ {
+		reg := c.Searcher(i).Regressor()
+		if reg.Len() > 5 {
+			t.Errorf("op %d retains %d observations, budget 5", i, reg.Len())
+		}
+		if reg.ObservationBudget() != 5 {
+			t.Errorf("op %d budget = %d, want 5", i, reg.ObservationBudget())
+		}
+		if reg.Evictions() == 0 {
+			t.Errorf("op %d never evicted across 30 slots at budget 5", i)
+		}
+	}
+	if _, err := New(Config{Graph: chain(t), YMax: 1000, NoiseVar: 100, GPObservationBudget: -1}); err == nil {
+		t.Error("negative GPObservationBudget accepted")
+	}
+}

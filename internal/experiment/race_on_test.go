@@ -1,0 +1,7 @@
+//go:build race
+
+package experiment
+
+// raceDetectorEnabled shortens the long-horizon soak under `go test -race`,
+// where the instrumented hot loop runs roughly an order of magnitude slower.
+const raceDetectorEnabled = true

@@ -63,6 +63,11 @@ type Scenario struct {
 	// ForecastAlpha enables Holt load forecasting in Dragster controllers
 	// (see core.Config.ForecastAlpha; 0 disables).
 	ForecastAlpha float64
+	// GPObservationBudget caps each operator GP's retained observations
+	// in Dragster controllers (see core.Config.GPObservationBudget; 0 =
+	// unlimited). Long-horizon scenarios set this so per-slot cost and
+	// memory stay flat; non-Dragster policies ignore it.
+	GPObservationBudget int
 	// FailNodeAtSlot, when positive, kills one worker node at the start
 	// of that slot (chaos injection): its pods go Pending and the
 	// dataflow loses parallelism until capacity returns.
@@ -242,17 +247,18 @@ func dragsterFactory(method osp.Method, acq ucb.Acquisition) PolicyFactory {
 			rng = stats.NewRNG(sc.Seed + 7919)
 		}
 		return core.New(core.Config{
-			Graph:         g,
-			Method:        method,
-			TaskBudget:    sc.TaskBudget,
-			YMax:          sc.Spec.YMax,
-			NoiseVar:      noiseSD * noiseSD,
-			Acquisition:   acq,
-			Candidates:    cands,
-			HyperoptEvery: hyperopt,
-			RNG:           rng,
-			ForecastAlpha: sc.ForecastAlpha,
-			Counters:      sc.Counters,
+			Graph:               g,
+			Method:              method,
+			TaskBudget:          sc.TaskBudget,
+			YMax:                sc.Spec.YMax,
+			NoiseVar:            noiseSD * noiseSD,
+			Acquisition:         acq,
+			Candidates:          cands,
+			HyperoptEvery:       hyperopt,
+			RNG:                 rng,
+			ForecastAlpha:       sc.ForecastAlpha,
+			GPObservationBudget: sc.GPObservationBudget,
+			Counters:            sc.Counters,
 		})
 	}
 }

@@ -58,8 +58,16 @@ type Regressor struct {
 	rowBuf []float64
 
 	// accumulated information gain ½ Σ log(1 + σ⁻²·σ²_{t−1}(x_t)),
-	// the empirical counterpart of Γ_T in Theorem 1.
+	// the empirical counterpart of Γ_T in Theorem 1. Evictions do not
+	// subtract from it — it records what was learned, not what is held.
 	infoGain float64
+
+	// observation budget (0 = unlimited) and its eviction machinery;
+	// see budget.go.
+	budget      int
+	evictPolicy EvictionPolicy
+	evictions   uint64
+	onEvict     func(idx int)
 
 	// observability hooks; nil-safe, see internal/telemetry.
 	tracer *telemetry.Tracer
@@ -159,6 +167,7 @@ func (r *Regressor) Observe(x []float64, y float64) error {
 		// No current factor to extend (first point, kernel swap pending, or
 		// an earlier fit failed); refit lazily on the next query.
 		r.dirty = true
+		r.enforceBudget()
 		return nil
 	}
 	// Incremental path: border the factor with the new cross-covariance row.
@@ -169,6 +178,7 @@ func (r *Regressor) Observe(x []float64, y float64) error {
 	}
 	if err := r.chol.Extend(row, r.kernel.Eval(x, x)+r.noiseVar); err != nil {
 		r.dirty = true // numerically degenerate; next query refits from scratch
+		r.enforceBudget()
 		return nil
 	}
 	// The empirical mean moved, so α = (K+σ²I)⁻¹(y−mean) is re-solved
@@ -180,6 +190,7 @@ func (r *Regressor) Observe(x []float64, y float64) error {
 	}
 	r.chol.SolveVecInto(r.alpha, r.alpha)
 	r.dirty = false
+	r.enforceBudget()
 	return nil
 }
 

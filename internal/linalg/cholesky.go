@@ -8,13 +8,26 @@ import (
 // Cholesky holds the lower-triangular factor L of an SPD matrix A = L·Lᵀ.
 // It is the workhorse behind the GP posterior (Eq. 17 of the Dragster
 // paper): solving (K + σ²I)⁻¹ b reduces to two triangular solves.
+//
+// A factor built by NewCholesky also retains a private copy of A itself,
+// kept in sync by Extend, because Downdate — the removal dual of Extend —
+// must recompute trailing factor columns from the original matrix entries
+// to stay bit-identical with a from-scratch refactorization (L·Lᵀ only
+// reproduces A up to rounding). A zero-constructed Cholesky{L: ...} still
+// supports every query and Extend, but not Downdate.
 type Cholesky struct {
 	L *Matrix // lower triangular, Rows == Cols
+
+	// a is the factorized matrix (NewCholesky path only; nil otherwise).
+	a *Matrix
+	// w is the Extend scratch for the border solve L·w = row, so the
+	// steady-state Extend allocates nothing once capacity has grown.
+	w []float64
 }
 
 // NewCholesky factorizes the SPD matrix a. It returns ErrNotSPD if a is not
 // square, not symmetric within 1e-8·max|a|, or a pivot becomes non-positive.
-// a is not modified.
+// a is not modified (the factor keeps its own copy for Downdate).
 func NewCholesky(a *Matrix) (*Cholesky, error) {
 	n := a.Rows
 	if a.Cols != n {
@@ -51,11 +64,40 @@ func NewCholesky(a *Matrix) (*Cholesky, error) {
 			l.Set(i, j, (a.At(i, j)-s)/ljj)
 		}
 	}
-	return &Cholesky{L: l}, nil
+	return &Cholesky{L: l, a: a.Clone()}, nil
 }
 
 // N returns the order of the factorized matrix.
 func (c *Cholesky) N() int { return c.L.Rows }
+
+// growSquare restrides m from n×n to (n+1)×(n+1) row-major, reusing
+// m.Data when capacity allows and reallocating otherwise. Rows move
+// back to front: row i's destination i·(n+1) starts at or after the end
+// i·n of row i−1's source, so no unmoved row is clobbered, and Go's copy
+// handles the self-overlap within a row like memmove. The new last row
+// and column are zeroed (the backing array may hold stale values from an
+// earlier shrink). Returns the matrix to assign back (it differs from m
+// only on the reallocation path).
+func growSquare(m *Matrix) *Matrix {
+	n := m.Rows
+	if cap(m.Data) < (n+1)*(n+1) {
+		g := NewMatrix(n+1, n+1)
+		for i := 0; i < n; i++ {
+			copy(g.Data[i*(n+1):i*(n+1)+n], m.Data[i*n:(i+1)*n])
+		}
+		return g
+	}
+	m.Data = m.Data[:(n+1)*(n+1)]
+	for i := n - 1; i >= 0; i-- {
+		copy(m.Data[i*(n+1):i*(n+1)+n], m.Data[i*n:(i+1)*n])
+		m.Data[i*(n+1)+n] = 0
+	}
+	for j := n * (n + 1); j < (n+1)*(n+1); j++ {
+		m.Data[j] = 0
+	}
+	m.Rows, m.Cols = n+1, n+1
+	return m
+}
 
 // Extend grows the factor of the n×n matrix A to the factor of the
 // (n+1)×(n+1) bordered matrix
@@ -68,35 +110,134 @@ func (c *Cholesky) N() int { return c.L.Rows }
 // entries A'[n][0..n−1]; diag is A'[n][n]. The arithmetic mirrors
 // NewCholesky's column recurrence term for term, so an extended factor is
 // bit-identical to refactorizing A' from scratch. On ErrNotSPD (the new
-// pivot is not positive) the receiver is left unchanged.
+// pivot is not positive) the receiver is left unchanged — the border
+// solve lands in scratch and is committed only after the pivot check.
+//
+// When backing capacity suffices (after a Downdate shrank the factor,
+// or on a reused buffer), Extend restrides L and the retained copy of A
+// in place and allocates nothing, which is what makes the budgeted
+// evict-then-observe steady state in internal/gp allocation-free.
 func (c *Cholesky) Extend(row []float64, diag float64) error {
 	n := c.L.Rows
 	if len(row) != n {
 		panic(fmt.Sprintf("linalg: Extend row length %d, want %d", len(row), n))
 	}
-	l := NewMatrix(n+1, n+1)
-	for i := 0; i < n; i++ {
-		copy(l.Data[i*(n+1):i*(n+1)+i+1], c.L.Data[i*n:i*n+i+1])
+	if cap(c.w) < n {
+		c.w = make([]float64, n+1)
 	}
+	w := c.w[:n]
 	for j := 0; j < n; j++ {
 		var s float64
 		for k := 0; k < j; k++ {
-			s += l.At(n, k) * l.At(j, k)
+			s += w[k] * c.L.At(j, k)
 		}
-		l.Set(n, j, (row[j]-s)/l.At(j, j))
+		w[j] = (row[j] - s) / c.L.At(j, j)
 	}
 	var d float64
 	for k := 0; k < n; k++ {
-		v := l.At(n, k)
-		d += v * v
+		d += w[k] * w[k]
 	}
 	d = diag - d
 	if d <= 0 || math.IsNaN(d) {
 		return ErrNotSPD
 	}
-	l.Set(n, n, math.Sqrt(d))
-	c.L = l
+	c.L = growSquare(c.L)
+	copy(c.L.Data[n*(n+1):n*(n+1)+n], w)
+	c.L.Data[n*(n+1)+n] = math.Sqrt(d)
+	if c.a != nil {
+		c.a = growSquare(c.a)
+		for j := 0; j < n; j++ {
+			c.a.Data[n*(n+1)+j] = row[j]
+			c.a.Data[j*(n+1)+n] = row[j]
+		}
+		c.a.Data[n*(n+1)+n] = diag
+	}
 	return nil
+}
+
+// Downdate removes observation i from the factor: it shrinks the factor
+// of the n×n matrix A to the factor of the (n−1)×(n−1) matrix A with row
+// and column i deleted, in place and allocation-free. It is the removal
+// dual of Extend, and like Extend it is bit-identical to refactorizing
+// the retained submatrix from scratch: columns j < i of L are unchanged
+// (the column-j recurrence reads only A entries and factor columns k < j,
+// all of which survive the deletion untouched), and columns j ≥ i are
+// recomputed with exactly NewCholesky's recurrence over the compacted
+// copy of A that the factor retains. Cost is O((n−i)·n) — removing the
+// newest row is O(n), the oldest O(n²).
+//
+// Downdate panics if the factor was not built by NewCholesky (no base
+// matrix to recompute from), if i is out of range, or if n == 1 (an
+// empty factor is not representable; callers track emptiness). It
+// returns ErrNotSPD if a recomputed pivot is not positive — possible
+// only through accumulated rounding, since a principal submatrix of an
+// SPD matrix is SPD — and in that case the receiver is left invalid and
+// must be discarded (the caller refits from its retained observations).
+//
+//lint:hotpath
+func (c *Cholesky) Downdate(i int) error {
+	n := c.L.Rows
+	if c.a == nil {
+		panic("linalg: Downdate on a factor without its base matrix (not built by NewCholesky)")
+	}
+	if i < 0 || i >= n {
+		//lint:allow hotpath cold panic path: formatting happens only on caller misuse, never in steady state
+		panic(fmt.Sprintf("linalg: Downdate index %d out of range [0,%d)", i, n))
+	}
+	if n == 1 {
+		panic("linalg: Downdate would empty the factor; drop the Cholesky instead")
+	}
+	m := n - 1
+	compactSquare(c.a, i)
+	compactSquare(c.L, i)
+	// Recompute columns i..m−1 with the NewCholesky column recurrence over
+	// the compacted A. Column-major order guarantees every factor entry the
+	// recurrence reads (columns k < j) is already final: k < i carried over,
+	// k ∈ [i, j) recomputed on an earlier pass of this loop.
+	for j := i; j < m; j++ {
+		var d float64
+		for k := 0; k < j; k++ {
+			v := c.L.At(j, k)
+			d += v * v
+		}
+		d = c.a.At(j, j) - d
+		if d <= 0 || math.IsNaN(d) {
+			return ErrNotSPD
+		}
+		ljj := math.Sqrt(d)
+		c.L.Set(j, j, ljj)
+		for r := j + 1; r < m; r++ {
+			var s float64
+			for k := 0; k < j; k++ {
+				s += c.L.At(r, k) * c.L.At(j, k)
+			}
+			c.L.Set(r, j, (c.a.At(r, j)-s)/ljj)
+		}
+	}
+	return nil
+}
+
+// compactSquare deletes row i and column i of the n×n matrix m in place,
+// leaving an (n−1)×(n−1) matrix on the same backing array. The forward
+// scan is safe because every destination index is at or before its
+// source (deleting entries only ever shifts data left).
+func compactSquare(m *Matrix, i int) {
+	n := m.Rows
+	dst := 0
+	for r := 0; r < n; r++ {
+		if r == i {
+			continue
+		}
+		for k := 0; k < n; k++ {
+			if k == i {
+				continue
+			}
+			m.Data[dst] = m.Data[r*n+k]
+			dst++
+		}
+	}
+	m.Data = m.Data[:(n-1)*(n-1)]
+	m.Rows, m.Cols = n-1, n-1
 }
 
 // SolveVec solves A·x = b for x, where A is the factorized matrix.

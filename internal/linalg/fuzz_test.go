@@ -113,3 +113,84 @@ func FuzzCholeskyExtend(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCholeskyDowndate checks the Downdate contract two ways on every
+// fuzz-generated SPD matrix: (1) extend-then-downdate of the border
+// round-trips to the original factor bit-identically, and (2) removing a
+// fuzz-chosen interior row/column matches factorizing the retained
+// submatrix from scratch, bit for bit.
+func FuzzCholeskyDowndate(f *testing.F) {
+	f.Add([]byte{1, 3, 141, 59, 26, 53, 58, 97, 93, 238, 46})
+	f.Add([]byte{4, 128, 0, 255, 17, 42, 128, 128, 90, 100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200, 210, 220, 230, 240, 250, 5, 15, 25, 35, 45, 55, 65, 75, 85, 95, 105, 115})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, n := fuzzSPD(data)
+		if a == nil || n < 3 {
+			t.Skip("not enough bytes")
+		}
+		// (1) Round trip: factor the leading minor, extend with the border,
+		// downdate the border away, expect the original bits back.
+		lead := NewMatrix(n-1, n-1)
+		for i := 0; i < n-1; i++ {
+			for j := 0; j < n-1; j++ {
+				lead.Set(i, j, a.At(i, j))
+			}
+		}
+		ch, err := NewCholesky(lead)
+		if err != nil {
+			t.Fatalf("leading block rejected: %v", err)
+		}
+		before := ch.L.Clone()
+		row := make([]float64, n-1)
+		for j := 0; j < n-1; j++ {
+			row[j] = a.At(n-1, j)
+		}
+		if err := ch.Extend(row, a.At(n-1, n-1)); err != nil {
+			t.Fatalf("Extend of SPD border failed: %v", err)
+		}
+		if err := ch.Downdate(n - 1); err != nil {
+			t.Fatalf("Downdate of the border failed: %v", err)
+		}
+		for i := 0; i < n-1; i++ {
+			for j := 0; j <= i; j++ {
+				if got, want := ch.L.At(i, j), before.At(i, j); got != want {
+					t.Fatalf("round-trip L[%d][%d] = %v, want %v: not bit-identical", i, j, got, want)
+				}
+			}
+		}
+		// (2) Interior removal: a fuzz-chosen index must match the
+		// from-scratch factorization of the compacted matrix.
+		idx := int(data[len(data)-1]) % n
+		full, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("full matrix rejected: %v", err)
+		}
+		if err := full.Downdate(idx); err != nil {
+			t.Fatalf("Downdate(%d) failed: %v", idx, err)
+		}
+		sub := NewMatrix(n-1, n-1)
+		for i, ii := 0, 0; i < n; i++ {
+			if i == idx {
+				continue
+			}
+			for j, jj := 0, 0; j < n; j++ {
+				if j == idx {
+					continue
+				}
+				sub.Set(ii, jj, a.At(i, j))
+				jj++
+			}
+			ii++
+		}
+		ref, err := NewCholesky(sub)
+		if err != nil {
+			t.Fatalf("retained submatrix rejected: %v", err)
+		}
+		for i := 0; i < n-1; i++ {
+			for j := 0; j <= i; j++ {
+				if got, want := full.L.At(i, j), ref.L.At(i, j); got != want {
+					t.Fatalf("downdated L[%d][%d] = %v, from-scratch = %v: not bit-identical", i, j, got, want)
+				}
+			}
+		}
+	})
+}

@@ -174,6 +174,15 @@ type Config struct {
 	// RNG supplies the posterior draws for the Thompson acquisition
 	// (required for Thompson, ignored otherwise).
 	RNG *stats.RNG
+	// ObservationBudget caps the GP's retained observations (0 =
+	// unlimited). With a budget, per-round Observe/Select cost stays flat
+	// over unbounded horizons instead of growing as O(n²); see
+	// gp.Regressor.SetObservationBudget and DESIGN.md "Bounded-memory
+	// posterior".
+	ObservationBudget int
+	// Eviction picks which observation a full budget drops (default
+	// gp.EvictLowestInformation; gp.EvictOldest is the sliding window).
+	Eviction gp.EvictionPolicy
 }
 
 // NewSearcher validates cfg and returns a Searcher.
@@ -226,6 +235,9 @@ func NewSearcher(cfg Config) (*Searcher, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := reg.SetObservationBudget(cfg.ObservationBudget, cfg.Eviction); err != nil {
+		return nil, fmt.Errorf("ucb: %w", err)
+	}
 	s := &Searcher{
 		reg:        reg,
 		candidates: cands,
@@ -243,7 +255,37 @@ func NewSearcher(cfg Config) (*Searcher, error) {
 	for ci, cand := range s.candidates {
 		s.crossKxx[ci] = reg.Kernel().Eval(cand, cand)
 	}
+	// The eviction hook keeps the cross-covariance cache aligned with the
+	// retained set by deleting exactly the evicted observation's block —
+	// without it every eviction would force an O(C·n) rebuild in Select.
+	reg.SetEvictionHook(s.onEvict)
 	return s, nil
+}
+
+// SetObservationBudget re-caps the underlying regressor's retained
+// observations mid-run (0 = unlimited), draining immediately; the
+// cross-covariance cache follows along through the eviction hook.
+func (s *Searcher) SetObservationBudget(budget int, policy gp.EvictionPolicy) error {
+	return s.reg.SetObservationBudget(budget, policy)
+}
+
+// onEvict is the regressor's eviction hook: observation idx was just
+// removed from the retained set, so its C cached cross-covariances are
+// deleted in place (one memmove), keeping the cache aligned without
+// touching the other n−1 blocks. idx ≥ crossN means the evicted
+// observation was never cached (it was newer than the last sync) and the
+// cache is already consistent; a stale epoch means a kernel swap will
+// force a full rebuild anyway.
+//
+//lint:hotpath
+func (s *Searcher) onEvict(idx int) {
+	if s.crossEpoch != s.reg.KernelEpoch() || idx >= s.crossN {
+		return
+	}
+	c := len(s.candidates)
+	copy(s.crossK[idx*c:], s.crossK[(idx+1)*c:s.crossN*c])
+	s.crossK = s.crossK[:(s.crossN-1)*c]
+	s.crossN--
 }
 
 func candidateDiameter(cands [][]float64) float64 {
