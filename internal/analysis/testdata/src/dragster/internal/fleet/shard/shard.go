@@ -1,0 +1,10 @@
+// Package shard stands in for dragster/internal/fleet/shard in
+// fleethook fixtures: subpackages of internal/fleet share ownership of
+// budget arbitration, so the entry point is legal here too.
+package shard
+
+import "dragster/internal/core"
+
+func ApplyShare(c *core.Controller, share int) error {
+	return c.SetTaskBudget(share)
+}

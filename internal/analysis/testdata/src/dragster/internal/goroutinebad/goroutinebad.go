@@ -81,3 +81,37 @@ func Waived(f func()) {
 	//lint:allow goroutine fixture demonstrates the reasoned waiver
 	go f()
 }
+
+// ShardPoolDispatch is the fleet shard-pool pattern: per-shard strided
+// workers writing to caller-owned result slots, joined on a WaitGroup
+// before the (sequential) reduction. Supervised — zero findings.
+func ShardPoolDispatch(members [][]int, workers int, fn func(i int)) {
+	var wg sync.WaitGroup
+	for _, shard := range members {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(shard []int, w int) {
+				defer wg.Done()
+				for k := w; k < len(shard); k += workers {
+					fn(shard[k])
+				}
+			}(shard, w)
+		}
+	}
+	wg.Wait()
+}
+
+// ShardPoolNoJoin is the same strided walk with the join forgotten: the
+// round loop would race its own decide workers and the event trace would
+// depend on scheduling. Flagged.
+func ShardPoolNoJoin(members [][]int, workers int, fn func(i int)) {
+	for _, shard := range members {
+		for w := 0; w < workers; w++ {
+			go func(shard []int, w int) { // want `unsupervised goroutine in ShardPoolNoJoin`
+				for k := w; k < len(shard); k += workers {
+					fn(shard[k])
+				}
+			}(shard, w)
+		}
+	}
+}

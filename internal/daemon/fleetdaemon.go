@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
 
 	"dragster/internal/fleet"
+	"dragster/internal/store"
 	"dragster/internal/telemetry"
 	"dragster/internal/workload"
 )
@@ -34,6 +36,12 @@ type FleetDaemon struct {
 	mu      sync.Mutex
 	m       *fleet.Manager
 	lastErr error
+	// submits records every accepted dynamic submission in arrival order.
+	// Unlike fleet.JobSpec (which carries workload models and rate
+	// functions), SubmitRequest is JSON-serializable, so the record rides
+	// inside checkpoints and lets a replica rebuild the specs it must
+	// replay.
+	submits []SubmitRequest
 }
 
 // NewFleet validates the configuration and builds the fleet stack.
@@ -46,6 +54,61 @@ func NewFleet(cfg FleetConfig) (*FleetDaemon, error) {
 		return nil, err
 	}
 	return &FleetDaemon{cfg: cfg, m: m}, nil
+}
+
+// submitsSection names the daemon's extra checkpoint section.
+const submitsSection = "daemon_submits"
+
+// WriteCheckpoint snapshots the fleet plus the daemon's dynamic
+// submission record into one envelope (GET /fleet/checkpoint).
+func (d *FleetDaemon) WriteCheckpoint(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ck, err := d.m.BuildCheckpoint()
+	if err != nil {
+		return err
+	}
+	submits := d.submits
+	if submits == nil {
+		submits = []SubmitRequest{}
+	}
+	if err := ck.Put(submitsSection, submits); err != nil {
+		return err
+	}
+	return ck.Snapshot(w)
+}
+
+// ResumeFleet builds a replica daemon from a checkpoint written by
+// WriteCheckpoint: the recorded submissions are resolved back into job
+// specs and the fleet manager is reconstructed by verified deterministic
+// replay (see fleet.Resume). cfg must match the primary's.
+func ResumeFleet(cfg FleetConfig, r io.Reader) (*FleetDaemon, error) {
+	if cfg.SlotWallInterval < 0 {
+		return nil, errors.New("daemon: negative wall interval")
+	}
+	ck, err := store.RestoreCheckpoint(r, fleet.CheckpointKind)
+	if err != nil {
+		return nil, err
+	}
+	var submits []SubmitRequest
+	if ck.Has(submitsSection) {
+		if err := ck.Get(submitsSection, &submits); err != nil {
+			return nil, err
+		}
+	}
+	specs := make(map[string]fleet.JobSpec, len(submits))
+	for i := range submits {
+		spec, err := submits[i].ToSpec()
+		if err != nil {
+			return nil, fmt.Errorf("daemon: resolving recorded submission %q: %w", submits[i].Name, err)
+		}
+		specs[spec.Name] = spec
+	}
+	m, err := fleet.Resume(cfg.Fleet, ck, specs)
+	if err != nil {
+		return nil, err
+	}
+	return &FleetDaemon{cfg: cfg, m: m, submits: submits}, nil
 }
 
 // Run executes fleet rounds until the schedule finishes or ctx is
@@ -85,6 +148,28 @@ func (d *FleetDaemon) Run(ctx context.Context) error {
 			}
 		}
 	}
+}
+
+// StepN runs up to n fleet rounds synchronously (manual pacing and
+// deterministic tests; Run is the wall-clock loop). Stops early without
+// error when the schedule finishes.
+func (d *FleetDaemon) StepN(n int) error {
+	for i := 0; i < n; i++ {
+		d.mu.Lock()
+		if d.m.Done() {
+			d.mu.Unlock()
+			return nil
+		}
+		err := d.m.Step()
+		if err != nil {
+			d.lastErr = err
+		}
+		d.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Result exposes the accumulated fleet result.
@@ -222,6 +307,8 @@ func jobStateOf(jr *fleet.JobResult) FleetJobState {
 //	POST   /fleet/jobs         → submit a job (SubmitRequest body)
 //	GET    /fleet/jobs/{name}  → one FleetJobState
 //	DELETE /fleet/jobs/{name}  → mark the job for departure next round
+//	GET    /fleet/checkpoint   → replayable checkpoint (see ResumeFleet)
+//	GET    /fleet/trace        → the event trace, one line per event
 //	GET    /metrics            → fleet telemetry registry, Prometheus text
 func (d *FleetDaemon) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -264,6 +351,9 @@ func (d *FleetDaemon) Handler() http.Handler {
 		}
 		d.mu.Lock()
 		err = d.m.Submit(spec)
+		if err == nil {
+			d.submits = append(d.submits, req)
+		}
 		d.mu.Unlock()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusConflict)
@@ -295,6 +385,20 @@ func (d *FleetDaemon) Handler() http.Handler {
 			return
 		}
 		fmt.Fprintf(w, "job %q marked for departure\n", name)
+	})
+	mux.HandleFunc("GET /fleet/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := d.WriteCheckpoint(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	})
+	mux.HandleFunc("GET /fleet/trace", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		text := d.m.TraceText()
+		d.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, text)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		d.mu.Lock()

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
+	"dragster/internal/fleet/event"
 	"dragster/internal/telemetry"
 )
 
@@ -88,6 +90,9 @@ func (m *Manager) rebalance(r int) error {
 			continue
 		}
 		price := dualPrice(js.ctrl.Duals())
+		m.emit(event.TypeGrant, js.spec.Name,
+			"price="+strconv.FormatFloat(price, 'g', 6, 64),
+			int64(js.budget), int64(targets[i]))
 		m.res.ArbiterDecisions = append(m.res.ArbiterDecisions, ArbiterDecision{
 			Round: r, Job: js.spec.Name, From: js.budget, To: targets[i], Price: price,
 		})
@@ -273,6 +278,7 @@ func (m *Manager) shrinkToBudget(js *jobState) error {
 		}
 		desired[best]--
 	}
+	m.emit(event.TypeShrink, js.spec.Name, "", int64(sum(desired)))
 	m.tracer.Event("fleet", "shrink",
 		telemetry.Str("job", js.spec.Name), telemetry.Int("to", sum(desired)))
 	if err := js.fj.Rescale(desired); err != nil {

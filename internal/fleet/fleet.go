@@ -20,6 +20,19 @@
 //     DAG-compatible jobs that ran before it, so new tenants skip the
 //     cold-start exploration phase.
 //
+// The control plane is event-driven: every externally injected input
+// (dynamic submission, kill) enters through an ordered message set, and
+// every state transition the round loop commits — arrivals, admissions,
+// rejections, budget grants, shrinks, decisions, departures — is
+// appended to a sequence-numbered event log with a canonical binary
+// encoding. The log is the behavioural identity of a run: two runs are
+// the same iff their trace bytes are equal, which is how the tests prove
+// that shard count, worker count, and mid-run failover are all invisible
+// to the outcome. Per-tenant decide steps are dispatched across
+// per-shard controller pools (see the shard subpackage); events are only
+// ever emitted from the sequential section of the round loop, never from
+// worker goroutines.
+//
 // Everything is deterministic at a fixed seed: jobs are processed in a
 // stable order, the arbiter is a pure function of observable state, and
 // the per-round decide fan-out joins before any shared state is touched.
@@ -30,11 +43,13 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
+	"strconv"
 
 	"dragster/internal/chaos"
 	"dragster/internal/cluster"
 	"dragster/internal/core"
+	"dragster/internal/fleet/event"
+	"dragster/internal/fleet/shard"
 	"dragster/internal/flink"
 	"dragster/internal/monitor"
 	"dragster/internal/osp"
@@ -215,6 +230,13 @@ type Config struct {
 	// per CPU). The reduction is always in admission order, so the result
 	// is byte-identical at any worker count; a Tracer forces 1.
 	DecideWorkers int
+	// Shards partitions the running tenants into deterministic ownership
+	// domains — each job name hashes to one shard, and each shard runs its
+	// tenants' decide steps on its own pool of DecideWorkers goroutines.
+	// Shards is purely a throughput knob: events carry no shard
+	// information, so the event trace and every result are byte-identical
+	// at any shard count (default 1).
+	Shards int
 }
 
 func (c *Config) setDefaults() error {
@@ -257,6 +279,12 @@ func (c *Config) setDefaults() error {
 	}
 	if c.DecideWorkers < 0 {
 		return errors.New("fleet: negative DecideWorkers")
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 0 {
+		return errors.New("fleet: negative Shards")
 	}
 	if c.TotalTaskBudget < 1 {
 		return errors.New("fleet: TotalTaskBudget must be ≥ 1")
@@ -401,6 +429,12 @@ type jobState struct {
 	idx    int
 	spec   JobSpec
 	status JobStatus
+	// committed reports that the tenant's submission has been delivered
+	// through the inbox and appears in the event trace; only committed
+	// tenants are visible to admission. Config-declared tenants are
+	// committed from construction, dynamic ones at the drain that starts
+	// their arrival round.
+	committed bool
 
 	ctrl    *core.Controller
 	fj      *flink.Job
@@ -439,6 +473,23 @@ type Manager struct {
 	round   int
 	res     *Result
 	kills   map[string]bool // names marked for departure next round
+
+	log    *event.Log        // committed control-plane history (the trace)
+	inbox  *event.MessageSet // external inputs awaiting their round
+	pool   *shard.Pool       // per-shard decide dispatch
+	inputs []InputRecord     // external inputs in stamp order, for replay
+}
+
+// InputRecord is one external input (dynamic submission or kill) in the
+// order the inbox stamped it. The record — not the full spec — is what a
+// checkpoint carries; a replica replays the same inputs at the same
+// rounds (specs re-supplied by the caller) and must reproduce the same
+// stamps, or the resume is rejected as diverged.
+type InputRecord struct {
+	Seq   uint64 `json:"seq"`
+	Round int    `json:"round"`
+	Kind  string `json:"kind"` // "submit" | "kill"
+	Job   string `json:"job"`
 }
 
 // New validates cfg and builds the shared substrate (cluster, Flink
@@ -454,7 +505,20 @@ func New(cfg Config) (*Manager, error) {
 		byName:  make(map[string]*jobState),
 		archive: newWarmArchive(),
 		kills:   make(map[string]bool),
+		log:     event.NewLog(),
+		inbox:   event.NewMessageSet(),
 	}
+	workers := cfg.DecideWorkers
+	if workers == 0 {
+		// Spread the CPU across the shards; at one shard this matches the
+		// historical one-worker-per-core fan-out exactly.
+		workers = (runtime.GOMAXPROCS(0) + cfg.Shards - 1) / cfg.Shards
+	}
+	pool, err := shard.NewPool(cfg.Shards, workers)
+	if err != nil {
+		return nil, err
+	}
+	m.pool = pool
 	nNodes := cfg.Nodes
 	if nNodes == 0 {
 		// Size for the budget plus the JobManager, at ~4 task slots per
@@ -495,9 +559,10 @@ func New(cfg Config) (*Manager, error) {
 	}
 	for i := range cfg.Jobs {
 		js := &jobState{
-			idx:    i,
-			spec:   cfg.Jobs[i],
-			status: StatusPending,
+			idx:       i,
+			spec:      cfg.Jobs[i],
+			status:    StatusPending,
+			committed: true,
 			res: &JobResult{
 				Name:       cfg.Jobs[i].Name,
 				Workload:   cfg.Jobs[i].Workload.Name,
@@ -549,19 +614,29 @@ func jobCost(js *jobState) float64 {
 }
 
 // Submit adds a dynamic tenant (the daemon's POST /fleet/jobs surface):
-// the job arrives at the next round. Returns an error when the name is
-// taken or the spec is invalid.
+// the submission is stamped into the fleet inbox and committed to the
+// event trace at the start of the next round, when the job arrives.
+// Returns an error when the name is taken or the spec is invalid.
 func (m *Manager) Submit(spec JobSpec) error {
+	_, err := m.submitInput(spec)
+	return err
+}
+
+func (m *Manager) submitInput(spec JobSpec) (uint64, error) {
 	if err := spec.validate(); err != nil {
-		return err
+		return 0, err
 	}
 	if _, ok := m.byName[spec.Name]; ok {
-		return fmt.Errorf("fleet: job %q already exists", spec.Name)
+		return 0, fmt.Errorf("fleet: job %q already exists", spec.Name)
 	}
 	if spec.Priority == 0 {
 		spec.Priority = 1
 	}
 	spec.ArriveSlot = m.round
+	stamped, err := m.inbox.Post(event.Event{Type: event.TypeSubmit, Job: spec.Name})
+	if err != nil {
+		return 0, fmt.Errorf("fleet: submit %s: %w", spec.Name, err)
+	}
 	js := &jobState{
 		idx:    len(m.jobs),
 		spec:   spec,
@@ -577,22 +652,80 @@ func (m *Manager) Submit(spec JobSpec) error {
 	}
 	m.jobs = append(m.jobs, js)
 	m.byName[js.spec.Name] = js
-	return nil
+	m.inputs = append(m.inputs, InputRecord{Seq: stamped.Seq, Round: m.round, Kind: "submit", Job: spec.Name})
+	return stamped.Seq, nil
 }
 
 // Kill marks a job for departure at the start of the next round (the
-// daemon's kill surface). Unknown names error; already-departed jobs are
-// a no-op.
+// daemon's kill surface). Unknown names error; already-departed jobs and
+// duplicate kills are a no-op.
 func (m *Manager) Kill(name string) error {
+	_, err := m.killInput(name)
+	return err
+}
+
+func (m *Manager) killInput(name string) (uint64, error) {
 	js, ok := m.byName[name]
 	if !ok {
-		return fmt.Errorf("fleet: unknown job %q", name)
+		return 0, fmt.Errorf("fleet: unknown job %q", name)
 	}
 	if js.status == StatusDeparted || js.status == StatusRejected {
-		return nil
+		return 0, nil
 	}
-	m.kills[name] = true
-	return nil
+	stamped, err := m.inbox.Post(event.Event{Type: event.TypeKill, Job: name})
+	if errors.Is(err, event.ErrDuplicate) {
+		return 0, nil // a kill for this job is already pending; idempotent
+	}
+	if err != nil {
+		return 0, fmt.Errorf("fleet: kill %s: %w", name, err)
+	}
+	m.inputs = append(m.inputs, InputRecord{Seq: stamped.Seq, Round: m.round, Kind: "kill", Job: name})
+	return stamped.Seq, nil
+}
+
+// Events returns the committed control-plane event trace so far.
+func (m *Manager) Events() []event.Event { return m.log.Events() }
+
+// TraceBytes returns the canonical binary encoding of the event trace.
+// Two runs are behaviourally identical iff these bytes are equal — the
+// property the shard-count and failover tests pin.
+func (m *Manager) TraceBytes() []byte { return m.log.Bytes() }
+
+// TraceText renders the trace one line per event (golden files, debugging).
+func (m *Manager) TraceText() string { return m.log.Text() }
+
+// TraceHash returns the FNV-1a hash of the canonical trace encoding.
+func (m *Manager) TraceHash() uint64 { return m.log.Hash() }
+
+// Inputs returns a copy of the recorded external inputs (replica replay).
+func (m *Manager) Inputs() []InputRecord {
+	return append([]InputRecord(nil), m.inputs...)
+}
+
+// emit commits one event to the control-plane log at the current round.
+// Emission only ever happens on the sequential section of the round
+// loop, so sequence numbers are dense and deterministic.
+func (m *Manager) emit(typ event.Type, job, note string, args ...int64) {
+	m.log.Emit(event.Event{Round: m.round, Type: typ, Job: job, Args: args, Note: note})
+}
+
+// drainInbox delivers the round's external inputs: messages posted since
+// the previous round arrive in stamped order and become part of the
+// event trace. Dynamic submissions become visible to admission; kills
+// are marked for the departure pass that follows.
+func (m *Manager) drainInbox() {
+	for _, msg := range m.inbox.Ready() {
+		switch msg.Type {
+		case event.TypeSubmit:
+			if js, ok := m.byName[msg.Job]; ok {
+				js.committed = true
+			}
+			m.emit(event.TypeSubmit, msg.Job, "")
+		case event.TypeKill:
+			m.kills[msg.Job] = true
+			m.emit(event.TypeKill, msg.Job, "")
+		}
+	}
 }
 
 // Jobs returns a snapshot of every tenant's result (submission order).
@@ -632,6 +765,8 @@ func (m *Manager) Step() error {
 	round := m.tracer.Begin("fleet", "round", telemetry.Int("round", r))
 	defer round.End()
 
+	m.emit(event.TypeRoundBegin, "", "", int64(len(m.running)))
+	m.drainInbox()
 	departed := m.processDepartures(r)
 	m.processArrivals(r)
 	admitted, err := m.admitQueued(r)
@@ -663,8 +798,9 @@ func (m *Manager) Step() error {
 		return err
 	}
 	m.harvest()
-	m.record(r, rates, snaps)
+	total := m.record(r, rates, snaps)
 	m.gauges()
+	m.emit(event.TypeRoundEnd, "", "", int64(total))
 	m.reg.Inc("fleet_rounds")
 	m.round++
 	return nil
@@ -694,6 +830,7 @@ func (m *Manager) processDepartures(r int) (departed bool) {
 		}
 		js.status = StatusDeparted
 		js.res.DepartSlot = r
+		m.emit(event.TypeDepart, js.spec.Name, "queued")
 	}
 	m.queue = qkeep
 	// A kill can land before the job ever arrives (still pending); mark
@@ -702,6 +839,7 @@ func (m *Manager) processDepartures(r int) (departed bool) {
 		if js.status == StatusPending && m.kills[js.spec.Name] {
 			js.status = StatusDeparted
 			js.res.DepartSlot = r
+			m.emit(event.TypeDepart, js.spec.Name, "pending")
 		}
 	}
 	for name := range m.kills {
@@ -719,6 +857,7 @@ func (m *Manager) departJob(js *jobState, r int) {
 	js.status = StatusDeparted
 	js.res.DepartSlot = r
 	js.budget = 0
+	m.emit(event.TypeDepart, js.spec.Name, "")
 	m.tracer.Event("fleet", "depart", telemetry.Str("job", js.spec.Name), telemetry.Int("round", r))
 	m.reg.Inc("fleet_jobs_departed")
 	m.cfg.Counters.Inc("fleet_jobs_departed")
@@ -728,7 +867,7 @@ func (m *Manager) departJob(js *jobState, r int) {
 // the ones that can never fit or that overflow the queue.
 func (m *Manager) processArrivals(r int) {
 	for _, js := range m.jobs {
-		if js.status != StatusPending || r < js.spec.ArriveSlot {
+		if js.status != StatusPending || !js.committed || r < js.spec.ArriveSlot {
 			continue
 		}
 		if js.spec.floor() > m.cfg.TotalTaskBudget {
@@ -742,6 +881,7 @@ func (m *Manager) processArrivals(r int) {
 		js.status = StatusQueued
 		js.queuedAt = r
 		m.queue = append(m.queue, js)
+		m.emit(event.TypeArrive, js.spec.Name, "")
 		m.res.Admissions = append(m.res.Admissions, AdmissionEvent{Round: r, Job: js.spec.Name, Outcome: "queued"})
 		if d := len(m.queue); d > m.res.PeakQueueDepth {
 			m.res.PeakQueueDepth = d
@@ -751,6 +891,7 @@ func (m *Manager) processArrivals(r int) {
 
 func (m *Manager) reject(js *jobState, r int, why string) {
 	js.status = StatusRejected
+	m.emit(event.TypeReject, js.spec.Name, why)
 	m.res.Admissions = append(m.res.Admissions, AdmissionEvent{Round: r, Job: js.spec.Name, Outcome: "rejected", Reason: why})
 	m.tracer.Event("fleet", "reject", telemetry.Str("job", js.spec.Name), telemetry.Str("reason", why))
 	m.reg.Inc("fleet_jobs_rejected")
@@ -812,14 +953,14 @@ type decision struct {
 
 // decideAll runs every controller's Algorithm-2 pass for the round. The
 // controllers are independent (each owns its GPs, duals, and a private
-// history DB), so with no tracer installed the passes fan across a
-// bounded pool of Config.DecideWorkers goroutines (0 = one per CPU), each
-// worker owning the strided subset i, i+W, i+2W, … of the tenant list —
-// the registry and counters the controllers share are concurrent-safe and
+// history DB), so the passes fan out across per-shard controller pools:
+// each tenant belongs to the shard its name hashes to, and each shard
+// walks its members on Config.DecideWorkers strided goroutines. The
+// registry and counters the controllers share are concurrent-safe and
 // order-insensitive, and results land in per-tenant slots reduced in
-// admission order, keeping the round byte-identical at any worker count.
-// A tracer serializes the fan-out because span emission is
-// single-threaded by contract.
+// admission order, so the round is byte-identical at any shard or worker
+// count. A tracer serializes the fan-out (span emission is
+// single-threaded by contract), visiting tenants in admission order.
 func (m *Manager) decideAll(snaps []*monitor.Snapshot) ([]decision, error) {
 	out := make([]decision, len(m.running))
 	errs := make([]error, len(m.running))
@@ -835,33 +976,13 @@ func (m *Manager) decideAll(snaps []*monitor.Snapshot) ([]decision, error) {
 		}
 		out[i] = decision{desired: desired, diag: diag}
 	}
-	workers := m.cfg.DecideWorkers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(m.running) {
-		workers = len(m.running)
-	}
-	if m.tracer != nil {
-		workers = 1
-	}
-	if workers <= 1 {
-		for i := range m.running {
-			decideOne(i)
-		}
-	} else {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for i := w; i < len(m.running); i += workers {
-					decideOne(i)
-				}
-			}(w)
-		}
-		wg.Wait()
-	}
+	members := m.pool.Partition(len(m.running), func(i int) int {
+		return shard.Owner(m.running[i].spec.Name, m.cfg.Shards)
+	})
+	sp := m.tracer.Begin("fleet", "decide_dispatch",
+		telemetry.Int("tenants", len(m.running)), telemetry.Int("shards", m.cfg.Shards))
+	m.pool.Dispatch(members, m.tracer != nil, decideOne)
+	sp.End()
 	// First failure in admission order wins, matching a sequential pass.
 	for _, err := range errs {
 		if err != nil {
@@ -876,19 +997,25 @@ func (m *Manager) decideAll(snaps []*monitor.Snapshot) ([]decision, error) {
 func (m *Manager) applyDecisions(r int, snaps []*monitor.Snapshot, decisions []decision) error {
 	for i, js := range m.running {
 		if snaps[i] == nil {
+			m.emit(event.TypeSkip, js.spec.Name, "")
 			continue
 		}
 		if err := js.retrier.Apply(js.fj, decisions[i].desired, nil, r); err != nil {
 			return fmt.Errorf("fleet: job %s rescale: %w", js.spec.Name, err)
 		}
 		js.usage = sum(decisions[i].desired)
+		args := make([]int64, len(decisions[i].desired))
+		for k, n := range decisions[i].desired {
+			args[k] = int64(n)
+		}
+		m.emit(event.TypeDecide, js.spec.Name, "", args...)
 	}
 	return nil
 }
 
 // record appends each running job's round trace and enforces the global
-// budget invariant bookkeeping.
-func (m *Manager) record(r int, rates [][]float64, snaps []*monitor.Snapshot) {
+// budget invariant bookkeeping, returning the round's Σ effective tasks.
+func (m *Manager) record(r int, rates [][]float64, snaps []*monitor.Snapshot) int {
 	total := 0
 	secs := float64(m.cfg.SlotSeconds)
 	for i, js := range m.running {
@@ -931,6 +1058,7 @@ func (m *Manager) record(r int, rates [][]float64, snaps []*monitor.Snapshot) {
 		m.res.BudgetOverruns++
 		m.cfg.Counters.Inc("fleet_budget_overruns")
 	}
+	return total
 }
 
 // steadyThroughput evaluates the job's ground-truth steady throughput at
@@ -965,6 +1093,17 @@ func (m *Manager) gauges() {
 	}
 	reg.SetGauge("fleet_budget_allocated", float64(allocated))
 	reg.SetGauge("fleet_budget_total", float64(m.cfg.TotalTaskBudget))
+	reg.SetGauge("fleet_shards", float64(m.cfg.Shards))
+	shardJobs := make([]int, m.cfg.Shards)
+	for _, js := range m.running {
+		shardJobs[shard.Owner(js.spec.Name, m.cfg.Shards)]++
+	}
+	for s, n := range shardJobs {
+		reg.SetGauge(telemetry.Label("fleet_shard_jobs", "shard", strconv.Itoa(s)), float64(n))
+	}
+	reg.SetGauge("fleet_inbox_pending", float64(m.inbox.Pending()))
+	reg.SetGauge("fleet_inbox_deduped", float64(m.inbox.Deduped()))
+	reg.SetGauge("fleet_events_committed", float64(m.log.Len()))
 }
 
 // dualPrice condenses a job's dual vector into its scalar shadow price:

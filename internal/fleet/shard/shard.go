@@ -1,0 +1,165 @@
+// Package shard partitions fleet tenants across per-shard controller
+// pools. A shard is a deterministic ownership domain: every job name
+// hashes to exactly one shard, each shard runs its tenants' decide
+// steps on its own bounded worker pool, and results land in
+// caller-owned, per-tenant slots so the reduction that follows is in
+// global admission order regardless of how many shards (or workers)
+// executed the work. Shard count and worker count are therefore pure
+// throughput knobs: they may change which goroutine computes a result,
+// never which result is computed or the order it commits.
+package shard
+
+import (
+	"errors"
+	"hash/fnv"
+	"sync"
+)
+
+// Owner returns the shard that owns the given job name, in [0, shards).
+// Ownership is a stable FNV-1a hash of the name, so it does not change
+// when tenants arrive or depart (consistent ownership is what makes
+// per-shard metrics meaningful across a run).
+func Owner(name string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// Pool dispatches per-tenant work across per-shard worker sets.
+type Pool struct {
+	shards  int
+	workers int // per shard; 0 = one per member
+}
+
+// NewPool validates the shape. workersPerShard 0 means one worker per
+// member of the shard (fully parallel within the shard's membership).
+func NewPool(shards, workersPerShard int) (*Pool, error) {
+	if shards < 1 {
+		return nil, errors.New("shard: shards must be ≥ 1")
+	}
+	if workersPerShard < 0 {
+		return nil, errors.New("shard: negative workers")
+	}
+	return &Pool{shards: shards, workers: workersPerShard}, nil
+}
+
+// Shards returns the configured shard count.
+func (p *Pool) Shards() int { return p.shards }
+
+// Partition splits n tenant indices into per-shard member lists using
+// the owner function (typically Owner over the tenant's name). Within a
+// shard, members keep their global order, so a strided worker walk is
+// deterministic per shard.
+func (p *Pool) Partition(n int, owner func(i int) int) [][]int {
+	members := make([][]int, p.shards)
+	for i := 0; i < n; i++ {
+		s := owner(i)
+		if s < 0 || s >= p.shards {
+			s = 0
+		}
+		members[s] = append(members[s], i)
+	}
+	return members
+}
+
+// Dispatch runs fn(i) for every member index of every shard, each shard
+// on its own strided worker set, and joins all workers before
+// returning. fn must confine its writes to per-index slots; Dispatch
+// guarantees fn is called exactly once per member, from exactly one
+// goroutine, with no ordering promise — ordering is the caller's
+// sequential reduction.
+//
+// serial forces the whole dispatch onto the calling goroutine in global
+// index order (the traced-run mode: span emission is single-threaded by
+// contract).
+func (p *Pool) Dispatch(members [][]int, serial bool, fn func(i int)) {
+	if serial || p.maxWorkers(members) <= 1 {
+		p.dispatchSerial(members, fn)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, m := range members {
+		if len(m) == 0 {
+			continue
+		}
+		w := p.workersFor(len(m))
+		if w <= 1 {
+			wg.Add(1)
+			go func(m []int) {
+				defer wg.Done()
+				for _, i := range m {
+					fn(i)
+				}
+			}(m)
+			continue
+		}
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func(m []int, k, w int) {
+				defer wg.Done()
+				for j := k; j < len(m); j += w {
+					fn(m[j])
+				}
+			}(m, k, w)
+		}
+	}
+	wg.Wait()
+}
+
+// dispatchSerial visits every member in ascending global index order —
+// the exact order a one-shard, one-worker pool would use.
+func (p *Pool) dispatchSerial(members [][]int, fn func(i int)) {
+	// Merge the per-shard lists back into global order: each list is
+	// already ascending, so a repeated minimum scan over the heads is
+	// deterministic and allocation-light for small shard counts.
+	heads := make([]int, len(members))
+	for {
+		best, bestIdx := -1, -1
+		for s, m := range members {
+			if heads[s] >= len(m) {
+				continue
+			}
+			if bestIdx < 0 || m[heads[s]] < best {
+				best, bestIdx = m[heads[s]], s
+			}
+		}
+		if bestIdx < 0 {
+			return
+		}
+		heads[bestIdx]++
+		fn(best)
+	}
+}
+
+// workersFor bounds the worker count for a shard with n members.
+func (p *Pool) workersFor(n int) int {
+	w := p.workers
+	if w == 0 || w > n {
+		w = n
+	}
+	return w
+}
+
+// maxWorkers reports the widest parallelism any shard would use, to
+// decide whether spawning goroutines is worth it at all.
+func (p *Pool) maxWorkers(members [][]int) int {
+	max := 0
+	nonEmpty := 0
+	for _, m := range members {
+		if len(m) == 0 {
+			continue
+		}
+		nonEmpty++
+		if w := p.workersFor(len(m)); w > max {
+			max = w
+		}
+	}
+	if nonEmpty > 1 {
+		// Multiple shards run concurrently even at one worker each.
+		return 2
+	}
+	return max
+}

@@ -1,0 +1,216 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestOwnerStableAndInRange(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		for i := 0; i < 100; i++ {
+			name := fmt.Sprintf("job-%03d", i)
+			a := Owner(name, shards)
+			b := Owner(name, shards)
+			if a != b {
+				t.Fatalf("Owner(%q, %d) unstable: %d then %d", name, shards, a, b)
+			}
+			if a < 0 || a >= shards {
+				t.Fatalf("Owner(%q, %d) = %d out of range", name, shards, a)
+			}
+		}
+	}
+	if Owner("anything", 1) != 0 {
+		t.Fatal("single shard must own everything")
+	}
+}
+
+func TestOwnerSpreadsLoad(t *testing.T) {
+	const shards, jobs = 16, 1000
+	counts := make([]int, shards)
+	for i := 0; i < jobs; i++ {
+		counts[Owner(fmt.Sprintf("job-%04d", i), shards)]++
+	}
+	for s, c := range counts {
+		// A uniform split is 62.5; allow generous skew but no dead or
+		// pathologically hot shard.
+		if c == 0 {
+			t.Fatalf("shard %d owns no jobs", s)
+		}
+		if c > jobs/shards*3 {
+			t.Fatalf("shard %d owns %d of %d jobs", s, c, jobs)
+		}
+	}
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool(0, 1); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := NewPool(1, -1); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	p, err := NewPool(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() != 4 {
+		t.Fatalf("Shards() = %d", p.Shards())
+	}
+}
+
+func TestPartitionPreservesOrderWithinShard(t *testing.T) {
+	p, err := NewPool(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := p.Partition(10, func(i int) int { return i % 3 })
+	seen := 0
+	for s, m := range members {
+		prev := -1
+		for _, i := range m {
+			if i <= prev {
+				t.Fatalf("shard %d members out of order: %v", s, m)
+			}
+			if i%3 != s {
+				t.Fatalf("index %d landed on shard %d", i, s)
+			}
+			prev = i
+			seen++
+		}
+	}
+	if seen != 10 {
+		t.Fatalf("partition covered %d of 10 indices", seen)
+	}
+	// Out-of-range owners fall back to shard 0 rather than panicking.
+	m := p.Partition(2, func(i int) int { return 99 })
+	if len(m[0]) != 2 {
+		t.Fatalf("out-of-range owner not clamped: %v", m)
+	}
+}
+
+// TestDispatchExactlyOnce: every index runs exactly once at any
+// shard/worker shape, serial or parallel.
+func TestDispatchExactlyOnce(t *testing.T) {
+	const n = 97
+	for _, tc := range []struct {
+		shards, workers int
+		serial          bool
+	}{
+		{1, 1, false}, {1, 0, false}, {4, 2, false}, {16, 0, false},
+		{4, 3, true}, {16, 2, true}, {3, 1, false},
+	} {
+		p, err := NewPool(tc.shards, tc.workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner := func(i int) int { return Owner(fmt.Sprintf("j%d", i), tc.shards) }
+		counts := make([]int32, n)
+		p.Dispatch(p.Partition(n, owner), tc.serial, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("shards=%d workers=%d serial=%v: index %d ran %d times",
+					tc.shards, tc.workers, tc.serial, i, c)
+			}
+		}
+	}
+}
+
+// TestDispatchSerialOrder: serial dispatch must visit indices in global
+// ascending order even though membership is interleaved across shards.
+func TestDispatchSerialOrder(t *testing.T) {
+	p, err := NewPool(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	owner := func(i int) int { return (i * 7) % 5 }
+	p.Dispatch(p.Partition(40, owner), true, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial dispatch order broken at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+// TestDispatchResultsIndependentOfShape: a computation reduced in index
+// order gives identical results at every pool shape — the property the
+// fleet's byte-identical traces rest on.
+func TestDispatchResultsIndependentOfShape(t *testing.T) {
+	const n = 64
+	run := func(shards, workers int, serial bool) []int64 {
+		p, err := NewPool(shards, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int64, n)
+		owner := func(i int) int { return Owner(fmt.Sprintf("t-%d", i), shards) }
+		p.Dispatch(p.Partition(n, owner), serial, func(i int) {
+			v := int64(i)
+			for k := 0; k < 1000; k++ {
+				v = v*6364136223846793005 + 1442695040888963407
+			}
+			out[i] = v
+		})
+		return out
+	}
+	want := run(1, 1, true)
+	for _, tc := range []struct {
+		shards, workers int
+		serial          bool
+	}{{1, 0, false}, {4, 2, false}, {16, 0, false}, {16, 3, true}} {
+		got := run(tc.shards, tc.workers, tc.serial)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d workers=%d serial=%v: slot %d diverged",
+					tc.shards, tc.workers, tc.serial, i)
+			}
+		}
+	}
+}
+
+// TestDispatchParallelismIsReal: with 4 shards × 1 worker, at least two
+// goroutines must be in flight simultaneously (shards run concurrently).
+func TestDispatchParallelismIsReal(t *testing.T) {
+	p, err := NewPool(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	inFlight, peak := 0, 0
+	gate := make(chan struct{})
+	members := [][]int{{0}, {1}, {2}, {3}}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Dispatch(members, false, func(i int) {
+			mu.Lock()
+			inFlight++
+			if inFlight > peak {
+				peak = inFlight
+			}
+			mu.Unlock()
+			<-gate
+			mu.Lock()
+			inFlight--
+			mu.Unlock()
+		})
+	}()
+	// All four workers park on the gate; release them together.
+	for {
+		mu.Lock()
+		p := peak
+		mu.Unlock()
+		if p >= 2 {
+			break
+		}
+	}
+	close(gate)
+	<-done
+	if peak < 2 {
+		t.Fatalf("peak concurrency %d, want ≥ 2", peak)
+	}
+}

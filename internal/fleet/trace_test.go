@@ -1,0 +1,225 @@
+package fleet
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dragster/internal/telemetry"
+	"dragster/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// deltaSpec is the dynamic tenant the event scenario submits mid-run.
+func deltaSpec(t *testing.T) JobSpec {
+	t.Helper()
+	wc := mustSpec(t, workload.WordCount)
+	return JobSpec{Name: "delta", Workload: wc, Rates: constRates(t, wc.LowRates)}
+}
+
+// scenarioInputs injects the event scenario's dynamic inputs before the
+// given round runs: a submission at round 2, a kill of a running tenant
+// at round 5, and a kill at round 6 (the round the failover test uses as
+// its checkpoint cut, so the input is pending — not yet delivered — when
+// the checkpoint is taken).
+func scenarioInputs(t *testing.T, m *Manager, r int) {
+	t.Helper()
+	switch r {
+	case 2:
+		if err := m.Submit(deltaSpec(t)); err != nil {
+			t.Fatalf("submit delta: %v", err)
+		}
+	case 5:
+		if err := m.Kill("alpha"); err != nil {
+			t.Fatalf("kill alpha: %v", err)
+		}
+	case 6:
+		if err := m.Kill("gamma"); err != nil {
+			t.Fatalf("kill gamma: %v", err)
+		}
+	}
+}
+
+// runEventScenario drives the canonical mixed fleet plus the dynamic
+// schedule above to completion at the given shard/worker shape.
+func runEventScenario(t *testing.T, shards, workers int) *Manager {
+	t.Helper()
+	cfg := threeJobConfig(t)
+	cfg.Shards = shards
+	cfg.DecideWorkers = workers
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	for !m.Done() {
+		scenarioInputs(t, m, m.Round())
+		if err := m.Step(); err != nil {
+			t.Fatalf("step %d: %v", m.Round(), err)
+		}
+	}
+	return m
+}
+
+// firstTraceDiff renders the first line where two traces diverge.
+func firstTraceDiff(a, b string) string {
+	al, bl := splitLines(a), splitLines(b)
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var la, lb string
+		if i < len(al) {
+			la = al[i]
+		}
+		if i < len(bl) {
+			lb = bl[i]
+		}
+		if la != lb {
+			return "line " + itoa(i) + ":\n got " + la + "\nwant " + lb
+		}
+	}
+	return "traces equal"
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		out = append(out, s[:i])
+		if i < len(s) {
+			i++
+		}
+		s = s[i:]
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestFleetTraceByteIdenticalAcrossShards is the headline invariant of
+// the event-driven control plane: a fixed seed produces the exact same
+// event trace and grant sequence at ANY shard count and worker count —
+// sharding is a throughput knob, never a behaviour knob.
+func TestFleetTraceByteIdenticalAcrossShards(t *testing.T) {
+	base := runEventScenario(t, 1, 1)
+	baseTrace := base.TraceBytes()
+	baseText := base.TraceText()
+	baseFP := resultFingerprint(t, base.Result())
+	if len(base.Events()) == 0 {
+		t.Fatal("scenario committed no events")
+	}
+	for _, tc := range []struct {
+		shards, workers int
+	}{
+		{1, 0}, {1, 4}, {4, 1}, {4, 2}, {16, 0}, {16, 3},
+	} {
+		m := runEventScenario(t, tc.shards, tc.workers)
+		if !bytes.Equal(m.TraceBytes(), baseTrace) {
+			t.Fatalf("shards=%d workers=%d: trace diverged from shards=1 workers=1:\n%s",
+				tc.shards, tc.workers, firstTraceDiff(m.TraceText(), baseText))
+		}
+		if m.TraceHash() != base.TraceHash() {
+			t.Fatalf("shards=%d workers=%d: trace hash diverged with equal bytes", tc.shards, tc.workers)
+		}
+		if fp := resultFingerprint(t, m.Result()); fp != baseFP {
+			t.Fatalf("shards=%d workers=%d: result fingerprint diverged", tc.shards, tc.workers)
+		}
+	}
+}
+
+// TestFleetTracedRunKeepsTrace: installing a Tracer serializes dispatch
+// but must not change the committed event trace.
+func TestFleetTracedRunKeepsTrace(t *testing.T) {
+	base := runEventScenario(t, 4, 2)
+
+	cfg := threeJobConfig(t)
+	cfg.Shards = 4
+	cfg.DecideWorkers = 2
+	cfg.Tracer = telemetry.NewTracer()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	for !m.Done() {
+		scenarioInputs(t, m, m.Round())
+		if err := m.Step(); err != nil {
+			t.Fatalf("step %d: %v", m.Round(), err)
+		}
+	}
+	if !bytes.Equal(m.TraceBytes(), base.TraceBytes()) {
+		t.Fatalf("traced run's event trace diverged:\n%s",
+			firstTraceDiff(m.TraceText(), base.TraceText()))
+	}
+}
+
+// TestFleetShardsFromEnv re-runs the event scenario at the shard count
+// named by the FLEET_SHARDS environment variable and holds its trace to
+// the committed golden. This is CI's shard-matrix entry point: the
+// fleet-race job runs the package at FLEET_SHARDS ∈ {1, 4, 16} under
+// -race, so every matrix leg proves both memory safety and byte-identity
+// at its shard count.
+func TestFleetShardsFromEnv(t *testing.T) {
+	v := os.Getenv("FLEET_SHARDS")
+	if v == "" {
+		t.Skip("FLEET_SHARDS not set (CI shard-matrix knob)")
+	}
+	shards := 0
+	for i := 0; i < len(v); i++ {
+		if v[i] < '0' || v[i] > '9' {
+			t.Fatalf("FLEET_SHARDS=%q: want a positive integer", v)
+		}
+		shards = shards*10 + int(v[i]-'0')
+	}
+	if shards < 1 {
+		t.Fatalf("FLEET_SHARDS=%q: want ≥ 1", v)
+	}
+	m := runEventScenario(t, shards, 0)
+	want, err := os.ReadFile(filepath.Join("testdata", "fleet_trace.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TraceText(); got != string(want) {
+		t.Fatalf("shards=%d: trace diverged from golden:\n%s",
+			shards, firstTraceDiff(got, string(want)))
+	}
+}
+
+// TestFleetGoldenTrace pins the scenario's full event trace as a golden
+// file, so any change to control-plane behaviour — ordering, event
+// payloads, admission outcomes — shows up as a reviewable diff.
+// Regenerate with: go test ./internal/fleet -run TestFleetGoldenTrace -update
+func TestFleetGoldenTrace(t *testing.T) {
+	m := runEventScenario(t, 4, 2)
+	got := m.TraceText()
+	path := filepath.Join("testdata", "fleet_trace.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("event trace diverged from golden:\n%s", firstTraceDiff(got, string(want)))
+	}
+}
