@@ -51,6 +51,7 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzCholeskyDowndate -fuzztime 3s ./internal/linalg
 	$(GO) test -run NONE -fuzz FuzzGraphBuild -fuzztime 3s ./internal/dag
 	$(GO) test -run NONE -fuzz FuzzFleetEvent -fuzztime 3s ./internal/fleet/event
+	$(GO) test -run NONE -fuzz FuzzLoadTraceCSV -fuzztime 3s ./internal/workload
 
 # Everything: the GP-stack micro-benchmarks and the end-to-end harness
 # benchmarks.

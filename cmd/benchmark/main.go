@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig4|fig4budget|fig5|fig6|table2|fig7|table3|regret|theorem2|ds2|robustness|ablation|fleet|fleetscale|longhorizon|all")
+		exp        = flag.String("exp", "all", "experiment: fig4|fig4budget|fig5|fig6|table2|fig7|table3|regret|theorem2|ds2|robustness|ablation|capacity|fleet|fleetscale|longhorizon|all")
 		slotSec    = flag.Int("slotsec", 600, "slot length in simulated seconds (paper: 600)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		budget     = flag.Int("budget", 13, "task budget for fig4budget (paper: $1.6/h ≈ 13 TaskManager pods)")
@@ -154,6 +154,18 @@ func run(exp string, slotSec int, seed int64, budget int) error {
 			if err := runAblation(slotSec, seed); err != nil {
 				return err
 			}
+		case "capacity":
+			spec, err := workload.WordCount()
+			if err != nil {
+				return err
+			}
+			// 24 slots gives the cold floor room to climb, the surge room
+			// to land mid-horizon, and the plan a horizon to amortize over.
+			r, err := experiment.RunCapacity(spec, 24, slotSec, seed)
+			if err != nil {
+				return err
+			}
+			experiment.RenderCapacity(w, r)
 		case "fleet":
 			r, err := experiment.FleetBench(20, slotSec, seed)
 			if err != nil {
@@ -188,7 +200,7 @@ func run(exp string, slotSec int, seed int64, budget int) error {
 	if exp != "all" {
 		return runOne(exp)
 	}
-	order := []string{"fig4", "fig4budget", "fig5", "fig6", "table2", "fig7", "table3", "regret", "theorem2", "ds2", "robustness", "ablation", "fleet", "longhorizon"}
+	order := []string{"fig4", "fig4budget", "fig5", "fig6", "table2", "fig7", "table3", "regret", "theorem2", "ds2", "robustness", "ablation", "capacity", "fleet", "longhorizon"}
 	for i, name := range order {
 		if i > 0 {
 			sep()

@@ -208,6 +208,8 @@ type FleetJobState struct {
 	Steady           float64 `json:"steady_throughput_tuples_per_sec"`
 	CostDollars      float64 `json:"cost_dollars"`
 	WarmStartRecords int     `json:"warm_start_records"`
+	Planned          bool    `json:"planned,omitempty"`
+	PlanDigest       string  `json:"plan_digest,omitempty"`
 }
 
 // SubmitRequest is the JSON body of POST /fleet/jobs.
@@ -223,6 +225,13 @@ type SubmitRequest struct {
 	// DepartSlot schedules a departure (0 = runs until killed or the
 	// fleet finishes).
 	DepartSlot int `json:"depart_slot,omitempty"`
+	// PlanOnAdmit asks admission to build a capacity plan first: the
+	// grant and initial configuration come from the plan instead of the
+	// cold floor (see internal/planner).
+	PlanOnAdmit bool `json:"plan_on_admit,omitempty"`
+	// TargetRates is the sustained per-source load the plan must cover;
+	// empty = the profile's per-slot peak.
+	TargetRates []float64 `json:"target_rates,omitempty"`
 }
 
 // ToSpec resolves the request into a fleet job spec (also used by
@@ -248,11 +257,13 @@ func (r *SubmitRequest) ToSpec() (fleet.JobSpec, error) {
 		return fleet.JobSpec{}, err
 	}
 	return fleet.JobSpec{
-		Name:       r.Name,
-		Workload:   spec,
-		Rates:      rates,
-		Priority:   r.Priority,
-		DepartSlot: r.DepartSlot,
+		Name:        r.Name,
+		Workload:    spec,
+		Rates:       rates,
+		Priority:    r.Priority,
+		DepartSlot:  r.DepartSlot,
+		PlanOnAdmit: r.PlanOnAdmit,
+		TargetRates: r.TargetRates,
 	}, nil
 }
 
@@ -288,6 +299,8 @@ func jobStateOf(jr *fleet.JobResult) FleetJobState {
 		Rounds:           len(jr.Rounds),
 		CostDollars:      jr.Cost,
 		WarmStartRecords: jr.WarmStartRecords,
+		Planned:          jr.Planned,
+		PlanDigest:       jr.PlanDigest,
 	}
 	if n := len(jr.Rounds); n > 0 {
 		last := jr.Rounds[n-1]
@@ -306,6 +319,8 @@ func jobStateOf(jr *fleet.JobResult) FleetJobState {
 //	GET    /fleet/jobs         → []FleetJobState (submission order)
 //	POST   /fleet/jobs         → submit a job (SubmitRequest body)
 //	GET    /fleet/jobs/{name}  → one FleetJobState
+//	GET    /fleet/jobs/{name}/plan → the job's capacity plan (404 when
+//	       the tenant was admitted on the cold floor or is unknown)
 //	DELETE /fleet/jobs/{name}  → mark the job for departure next round
 //	GET    /fleet/checkpoint   → replayable checkpoint (see ResumeFleet)
 //	GET    /fleet/trace        → the event trace, one line per event
@@ -374,6 +389,17 @@ func (d *FleetDaemon) Handler() http.Handler {
 			}
 		}
 		http.Error(w, fmt.Sprintf("unknown job %q", name), http.StatusNotFound)
+	})
+	mux.HandleFunc("GET /fleet/jobs/{name}/plan", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		d.mu.Lock()
+		p := d.m.PlanFor(name)
+		d.mu.Unlock()
+		if p == nil {
+			http.Error(w, fmt.Sprintf("no capacity plan for job %q", name), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, p)
 	})
 	mux.HandleFunc("DELETE /fleet/jobs/{name}", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")

@@ -269,3 +269,85 @@ func getJSON(t testing.TB, url string, v any) {
 		t.Fatal(err)
 	}
 }
+
+func TestFleetDaemonPlanEndpoint(t *testing.T) {
+	cfg := testFleetConfig(t, 4)
+	cfg.Fleet.TotalTaskBudget = 20
+	cfg.Fleet.Jobs[0].PlanOnAdmit = true
+	d, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/fleet/jobs/alpha/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("planned tenant plan: status %d", resp.StatusCode)
+	}
+	var plan struct {
+		Workload   string  `json:"workload"`
+		Tasks      []int   `json:"tasks"`
+		TotalTasks int     `json:"total_tasks"`
+		ProbeCost  float64 `json:"probe_cost"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&plan); err != nil {
+		t.Fatalf("decoding plan: %v", err)
+	}
+	if plan.Workload != "wordcount" || len(plan.Tasks) == 0 || plan.TotalTasks == 0 || plan.ProbeCost <= 0 {
+		t.Errorf("implausible plan payload: %+v", plan)
+	}
+
+	// Cold-floor and unknown tenants both 404.
+	for _, name := range []string{"beta", "nosuch"} {
+		resp, err := http.Get(srv.URL + "/fleet/jobs/" + name + "/plan")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s plan: status %d, want 404", name, resp.StatusCode)
+		}
+	}
+
+	// The job state surfaces the plan identity.
+	resp, err = http.Get(srv.URL + "/fleet/jobs/alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var js FleetJobState
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !js.Planned || js.PlanDigest == "" {
+		t.Errorf("planned tenant state missing plan identity: %+v", js)
+	}
+}
+
+func TestSubmitRequestPlanPassthrough(t *testing.T) {
+	req := SubmitRequest{
+		Name:        "p",
+		Workload:    "wordcount",
+		PlanOnAdmit: true,
+		TargetRates: []float64{12000},
+	}
+	spec, err := req.ToSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.PlanOnAdmit {
+		t.Error("PlanOnAdmit not passed through")
+	}
+	if len(spec.TargetRates) != 1 || spec.TargetRates[0] != 12000 {
+		t.Errorf("TargetRates = %v, want [12000]", spec.TargetRates)
+	}
+}

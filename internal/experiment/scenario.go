@@ -296,6 +296,14 @@ func DhalionPolicy() PolicyFactory {
 	}
 }
 
+// DaedalusPolicy builds the utilization-model baseline (the capacity
+// experiment's self-adaptive comparator).
+func DaedalusPolicy() PolicyFactory {
+	return func(sc *Scenario) (core.Autoscaler, error) {
+		return baseline.NewDaedalus(sc.Spec.MaxTasks, baseline.WithDaedalusBudget(sc.TaskBudget))
+	}
+}
+
 // DS2Policy builds the proportional-controller baseline.
 func DS2Policy() PolicyFactory {
 	return func(sc *Scenario) (core.Autoscaler, error) {

@@ -5,6 +5,7 @@ import (
 
 	"dragster/internal/cluster"
 	"dragster/internal/fleet/event"
+	"dragster/internal/planner"
 	"dragster/internal/telemetry"
 )
 
@@ -24,7 +25,8 @@ import (
 // nothing behind it is considered this round — later (smaller) jobs must
 // not starve an earlier tenant indefinitely.
 
-// grant is the Σ-tasks allocation a job receives at admission.
+// grant is the Σ-tasks allocation a cold-floor job receives at
+// admission.
 func grant(spec *JobSpec) int {
 	g := spec.floor()
 	if spec.InitialTasks != nil {
@@ -35,12 +37,84 @@ func grant(spec *JobSpec) int {
 	return g
 }
 
+// grantFor is the Σ-tasks allocation a job receives at admission: the
+// capacity plan's total when one was built, the cold floor otherwise.
+func (m *Manager) grantFor(js *jobState) int {
+	g := grant(&js.spec)
+	if js.plan != nil {
+		if t := js.plan.TotalTasks; t > g {
+			g = t
+		}
+		if mu := js.spec.maxUseful(); g > mu {
+			g = mu
+		}
+	}
+	return g
+}
+
+// ensurePlan builds and journals the capacity plan for a PlanOnAdmit
+// tenant the first time it reaches the head of the admission queue. The
+// plan is memoized on the jobState, so blocked rounds neither re-probe
+// nor re-journal, and it is built from a seed derived deterministically
+// from the fleet seed and the tenant's submission index — replay and
+// failover rebuild the identical plan (the checkpoint pins its digest).
+func (m *Manager) ensurePlan(js *jobState) error {
+	if !js.spec.PlanOnAdmit || js.plan != nil {
+		return nil
+	}
+	p, err := planner.Build(planner.Config{
+		Spec:             js.spec.Workload,
+		TargetRates:      m.planTargetRates(js),
+		Seed:             m.cfg.Seed + int64(js.idx+1)*999983,
+		NoiseSigma:       m.cfg.NoiseSigma,
+		UtilNoiseSigma:   m.cfg.UtilNoiseSigma,
+		PricePerCoreHour: m.cfg.PricePerCoreHour,
+		TaskCPUMilli:     m.session.Options().TaskManagerSpec.CPUMilli,
+	})
+	if err != nil {
+		return fmt.Errorf("fleet: planning job %s: %w", js.spec.Name, err)
+	}
+	js.plan = p
+	args := make([]int64, len(p.Tasks))
+	for i, n := range p.Tasks {
+		args[i] = int64(n)
+	}
+	m.emit(event.TypePlan, js.spec.Name,
+		fmt.Sprintf("digest=%s probes=%d feasible=%v", p.DigestHex(), len(p.Probes), p.Feasible), args...)
+	m.tracer.Event("fleet", "plan",
+		telemetry.Str("job", js.spec.Name), telemetry.Int("total_tasks", p.TotalTasks),
+		telemetry.Int("probes", len(p.Probes)))
+	m.reg.Inc("fleet_jobs_planned")
+	m.cfg.Counters.Inc("fleet_jobs_planned")
+	return nil
+}
+
+// planTargetRates is the sustained load a plan must cover: the spec's
+// explicit target, or the profile's per-source peak over the horizon.
+func (m *Manager) planTargetRates(js *jobState) []float64 {
+	if js.spec.TargetRates != nil {
+		return append([]float64(nil), js.spec.TargetRates...)
+	}
+	out := make([]float64, js.spec.Workload.Graph.NumSources())
+	for s := 0; s < m.cfg.Slots; s++ {
+		for i, r := range js.spec.Rates(s, 0) {
+			if i < len(out) && r > out[i] {
+				out[i] = r
+			}
+		}
+	}
+	return out
+}
+
 // admitQueued admits as many queued jobs as fit, in FIFO order, and
 // reports whether fleet membership changed.
 func (m *Manager) admitQueued(r int) (changed bool, err error) {
 	for len(m.queue) > 0 {
 		js := m.queue[0]
-		g := grant(&js.spec)
+		if err := m.ensurePlan(js); err != nil {
+			return changed, err
+		}
+		g := m.grantFor(js)
 		if why, ok := m.admissible(js, g); !ok {
 			m.tracer.Event("fleet", "admission_wait",
 				telemetry.Str("job", js.spec.Name), telemetry.Str("reason", why))

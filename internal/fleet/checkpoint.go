@@ -57,6 +57,10 @@ type jobCheckpoint struct {
 	AdmitSlot  int    `json:"admit_slot"`
 	DepartSlot int    `json:"depart_slot"`
 	Rounds     int    `json:"rounds"`
+	// PlanDigest pins the capacity plan a PlanOnAdmit tenant was granted
+	// from (0 = cold floor). Replay rebuilds the plan from the journaled
+	// seed, so a digest mismatch means the replica planned differently.
+	PlanDigest uint64 `json:"plan_digest,omitempty"`
 }
 
 // BuildCheckpoint captures the manager's replayable state between
@@ -99,6 +103,7 @@ func (m *Manager) BuildCheckpoint() (*store.Checkpoint, error) {
 			AdmitSlot:  js.res.AdmitSlot,
 			DepartSlot: js.res.DepartSlot,
 			Rounds:     len(js.res.Rounds),
+			PlanDigest: planDigest(js),
 		})
 	}
 	if err := ck.Put("arbiter", jobs); err != nil {
@@ -221,11 +226,22 @@ func Resume(cfg Config, ck *store.Checkpoint, specs map[string]JobSpec) (*Manage
 		if js.budget != jc.Budget {
 			return nil, fmt.Errorf("fleet: job %s budget %d after replay, checkpoint %d", jc.Name, js.budget, jc.Budget)
 		}
+		if got := planDigest(js); got != jc.PlanDigest {
+			return nil, fmt.Errorf("fleet: job %s plan digest %#x after replay, checkpoint %#x", jc.Name, got, jc.PlanDigest)
+		}
 		// The checkpoint's arbiter section is authoritative (a no-op once
 		// verified, but the restore path — not the replay — owns the value).
 		js.budget = jc.Budget
 	}
 	return m, nil
+}
+
+// planDigest is the tenant's capacity-plan identity (0 = cold floor).
+func planDigest(js *jobState) uint64 {
+	if js.plan == nil {
+		return 0
+	}
+	return js.plan.Digest()
 }
 
 // replayInputs re-posts recorded external inputs and verifies each one

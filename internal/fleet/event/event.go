@@ -56,6 +56,9 @@ const (
 	TypeSkip
 	// TypeRoundEnd closes a fleet round; Args[0] = Σ effective tasks.
 	TypeRoundEnd
+	// TypePlan journals a capacity plan built at admission; Args = the
+	// planned per-operator task floors, Note = plan digest + probe count.
+	TypePlan
 )
 
 // String implements fmt.Stringer.
@@ -85,13 +88,15 @@ func (t Type) String() string {
 		return "skip"
 	case TypeRoundEnd:
 		return "round_end"
+	case TypePlan:
+		return "plan"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
 }
 
 // validType reports whether t is one of the declared event types.
-func validType(t Type) bool { return t >= TypeSubmit && t <= TypeRoundEnd }
+func validType(t Type) bool { return t >= TypeSubmit && t <= TypePlan }
 
 // Event is one fleet control-plane transition. Seq is assigned by the
 // Log (or an Inbox) at commit time and is globally unique and dense

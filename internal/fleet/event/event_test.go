@@ -191,7 +191,7 @@ func TestMessageSetSkipTo(t *testing.T) {
 }
 
 func TestTypeStrings(t *testing.T) {
-	for typ := TypeSubmit; typ <= TypeRoundEnd; typ++ {
+	for typ := TypeSubmit; typ <= TypePlan; typ++ {
 		if strings.HasPrefix(typ.String(), "Type(") {
 			t.Errorf("type %d has no name", typ)
 		}

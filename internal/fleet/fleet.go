@@ -53,6 +53,7 @@ import (
 	"dragster/internal/flink"
 	"dragster/internal/monitor"
 	"dragster/internal/osp"
+	"dragster/internal/planner"
 	"dragster/internal/stats"
 	"dragster/internal/store"
 	"dragster/internal/streamsim"
@@ -117,6 +118,17 @@ type JobSpec struct {
 	InitialTasks []int
 	// Method selects the job's level-1 algorithm (default SaddlePoint).
 	Method osp.Method
+	// PlanOnAdmit runs the capacity planner when the job reaches the head
+	// of the admission queue: the admission grant and initial
+	// configuration come from the fitted plan instead of the cold floor
+	// (overriding InitialTasks), the plan's probe observations seed the
+	// tenant's GP warm-start store, and the plan is journaled as a
+	// TypePlan event so replay and failover stay byte-identical.
+	PlanOnAdmit bool
+	// TargetRates is the sustained per-source load the plan must cover
+	// (default: the profile's per-source peak over the fleet horizon).
+	// Only meaningful with PlanOnAdmit.
+	TargetRates []float64
 }
 
 func (j *JobSpec) validate() error {
@@ -141,6 +153,16 @@ func (j *JobSpec) validate() error {
 	m := j.Workload.Graph.NumOperators()
 	if j.InitialTasks != nil && len(j.InitialTasks) != m {
 		return fmt.Errorf("fleet: job %s: got %d initial tasks, want %d", j.Name, len(j.InitialTasks), m)
+	}
+	if j.TargetRates != nil {
+		if len(j.TargetRates) != j.Workload.Graph.NumSources() {
+			return fmt.Errorf("fleet: job %s: got %d target rates, want %d", j.Name, len(j.TargetRates), j.Workload.Graph.NumSources())
+		}
+		for i, r := range j.TargetRates {
+			if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+				return fmt.Errorf("fleet: job %s: target rate %d = %v invalid", j.Name, i, r)
+			}
+		}
 	}
 	return nil
 }
@@ -387,6 +409,9 @@ type JobResult struct {
 	QueuedRounds     int
 	WarmStarted      bool
 	WarmStartRecords int
+	Planned          bool    // admission grant came from a capacity plan
+	PlanDigest       string  // canonical plan digest (empty for cold-floor)
+	PlanProbes       int     // probe simulations the plan ran
 	Cost             float64 // attributed dollars over the job's lifetime
 	Rounds           []JobRound
 }
@@ -447,6 +472,11 @@ type jobState struct {
 	// copied into the archive so far.
 	db        *store.DB
 	harvested map[string]int
+
+	// plan is the capacity plan built when a PlanOnAdmit tenant first
+	// reached the head of the admission queue (nil for cold-floor
+	// tenants). Memoized so blocked rounds never re-probe or re-journal.
+	plan *planner.Plan
 
 	budget   int // current Σ-tasks share
 	usage    int // Σ desired tasks last applied
@@ -738,6 +768,17 @@ func (m *Manager) Jobs() []JobResult {
 		out = append(out, jr)
 	}
 	return out
+}
+
+// PlanFor returns the capacity plan journaled for a tenant at
+// admission, or nil for cold-floor tenants (and unknown names). The
+// daemon's plan endpoint reads this.
+func (m *Manager) PlanFor(name string) *planner.Plan {
+	js, ok := m.byName[name]
+	if !ok {
+		return nil
+	}
+	return js.plan
 }
 
 // QueueDepth returns the current admission queue length.
@@ -1177,6 +1218,9 @@ func (m *Manager) buildStack(js *jobState, r int) error {
 		return err
 	}
 	initial := js.spec.InitialTasks
+	if js.plan != nil {
+		initial = append([]int(nil), js.plan.Tasks...)
+	}
 	if initial == nil {
 		initial = make([]int, spec.Graph.NumOperators())
 		for i := range initial {
@@ -1195,6 +1239,17 @@ func (m *Manager) buildStack(js *jobState, r int) error {
 	mon.SetTracer(m.tracer)
 
 	db, nRecords := m.archive.seed(spec, m.cfg.DisableWarmStart, m.cfg.WarmStartMaxPerOperator)
+	if js.plan != nil {
+		// The plan's probe observations are the tenant's own evidence, so
+		// they seed its GPs even when cross-job warm-start is disabled.
+		// They must land before core.New, whose warm-start pass replays
+		// the whole history into the per-operator regressors.
+		for _, rec := range js.plan.Records() {
+			if err := db.Append(rec); err != nil {
+				return err
+			}
+		}
+	}
 	capScale := spec.YMax / 3
 	noiseSD := math.Max(m.cfg.NoiseSigma, 0.02) * capScale
 	ctrl, err := core.New(core.Config{
@@ -1228,6 +1283,11 @@ func (m *Manager) buildStack(js *jobState, r int) error {
 	js.res.AdmitSlot = r
 	js.res.WarmStarted = nRecords > 0
 	js.res.WarmStartRecords = nRecords
+	if js.plan != nil {
+		js.res.Planned = true
+		js.res.PlanDigest = js.plan.DigestHex()
+		js.res.PlanProbes = len(js.plan.Probes)
+	}
 	return nil
 }
 

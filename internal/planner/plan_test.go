@@ -1,0 +1,107 @@
+package planner
+
+import (
+	"bytes"
+	"testing"
+)
+
+func samplePlan() *Plan {
+	return &Plan{
+		Workload:            "wordcount",
+		Seed:                42,
+		TargetRates:         []float64{50000},
+		SLOFraction:         0.95,
+		Beta:                1,
+		Tasks:               []int{4, 3},
+		TotalTasks:          7,
+		PredictedThroughput: 98000,
+		TargetThroughput:    100000,
+		Feasible:            true,
+		CostPerHour:         0.56,
+		Curves: []OperatorCurve{
+			{Operator: "map", Mu: []float64{16000, 29000}, Sigma: []float64{500, 800}},
+			{Operator: "shuffle", Mu: []float64{18000, 32000}, Sigma: []float64{600, 900}},
+		},
+		Probes: []Probe{
+			{Operator: "map", OpIndex: 0, Tasks: 1, Capacity: 16000, Util: 0.99, Saturated: true},
+			{Operator: "map", OpIndex: 0, Tasks: 2, Capacity: 0, Util: 0.7, Saturated: false},
+			{Operator: "shuffle", OpIndex: 1, Tasks: 1, Capacity: 18000, Util: 0.98, Saturated: true},
+		},
+	}
+}
+
+// Every field participates in the canonical encoding: flipping any one of
+// them must change the digest.
+func TestEncodeDistinguishesFields(t *testing.T) {
+	base := samplePlan().Digest()
+	muts := map[string]func(*Plan){
+		"workload":  func(p *Plan) { p.Workload = "yahoo" },
+		"seed":      func(p *Plan) { p.Seed = 43 },
+		"rates":     func(p *Plan) { p.TargetRates[0] = 50001 },
+		"slo":       func(p *Plan) { p.SLOFraction = 0.9 },
+		"beta":      func(p *Plan) { p.Beta = 2 },
+		"tasks":     func(p *Plan) { p.Tasks[0] = 5 },
+		"total":     func(p *Plan) { p.TotalTasks = 8 },
+		"predicted": func(p *Plan) { p.PredictedThroughput = 97000 },
+		"target":    func(p *Plan) { p.TargetThroughput = 99000 },
+		"feasible":  func(p *Plan) { p.Feasible = false },
+		"cost":      func(p *Plan) { p.CostPerHour = 0.6 },
+		"probecost": func(p *Plan) { p.ProbeCost = 1.25 },
+		"curve mu":  func(p *Plan) { p.Curves[1].Mu[0] = 18001 },
+		"probe cap": func(p *Plan) { p.Probes[0].Capacity = 16001 },
+		"probe sat": func(p *Plan) { p.Probes[2].Saturated = false },
+	}
+	for name, mut := range muts {
+		p := samplePlan()
+		mut(p)
+		if p.Digest() == base {
+			t.Errorf("mutating %s did not change the digest", name)
+		}
+	}
+}
+
+func TestEncodeStable(t *testing.T) {
+	a, b := samplePlan(), samplePlan()
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatal("identical plans encode differently")
+	}
+	if len(a.DigestHex()) != 16 {
+		t.Fatalf("DigestHex = %q, want 16 hex chars", a.DigestHex())
+	}
+}
+
+// Records feed the warm-start store: saturated probes only, 1-D task
+// configs, and strictly pre-launch (negative) slots in probe order.
+func TestRecords(t *testing.T) {
+	p := samplePlan()
+	recs := p.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (saturated probes only)", len(recs))
+	}
+	lastSlot := -1 << 30
+	for i, r := range recs {
+		if r.CapacityObs <= 0 {
+			t.Errorf("record %d: CapacityObs = %f", i, r.CapacityObs)
+		}
+		if len(r.Config) != 1 || r.Config[0] < 1 {
+			t.Errorf("record %d: config %v, want 1-D task count", i, r.Config)
+		}
+		if r.Slot >= 0 {
+			t.Errorf("record %d: slot %d not pre-launch", i, r.Slot)
+		}
+		if r.Slot <= lastSlot {
+			t.Errorf("record %d: slots not ascending (%d after %d)", i, r.Slot, lastSlot)
+		}
+		lastSlot = r.Slot
+	}
+	if recs[0].Operator != "map" || recs[1].Operator != "shuffle" {
+		t.Errorf("records out of probe order: %v", recs)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := samplePlan().String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,53 @@
+package planner_test
+
+import (
+	"testing"
+
+	"dragster/internal/experiment"
+	"dragster/internal/planner"
+	"dragster/internal/workload"
+)
+
+// This file lives in the external test package: validating plans against
+// the ground-truth optimum needs internal/experiment, which reaches
+// planner again through the fleet admission path.
+
+// The plan must actually work: running the planned task counts against
+// the hidden ground-truth capacity curves sustains the SLO fraction of
+// the unconstrained target throughput.
+func TestPlanCoversTarget(t *testing.T) {
+	for _, name := range []string{"wordcount", "group", "yahoo"} {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		cfg := planner.Config{Spec: spec, TargetRates: spec.HighRates, Seed: 7}
+		p, err := planner.Build(cfg)
+		if err != nil {
+			t.Fatalf("%s: Build: %v", name, err)
+		}
+		if !p.Feasible {
+			t.Errorf("%s: plan infeasible: %s", name, p)
+		}
+		got, err := experiment.SteadyThroughput(spec, spec.HighRates, p.Tasks)
+		if err != nil {
+			t.Fatalf("%s: SteadyThroughput: %v", name, err)
+		}
+		if got < 0.95*p.TargetThroughput {
+			t.Errorf("%s: planned tasks %v sustain %.0f < 95%% of target %.0f",
+				name, p.Tasks, got, p.TargetThroughput)
+		}
+
+		// Conservative, not absurd: between the greedy ground-truth
+		// optimum and a flat max-tasks grant.
+		opt, err := experiment.OptimalConfig(spec, spec.HighRates, 0)
+		if err != nil {
+			t.Fatalf("%s: OptimalConfig: %v", name, err)
+		}
+		maxTotal := spec.Graph.NumOperators() * spec.MaxTasks
+		if p.TotalTasks < opt.TotalTasks || p.TotalTasks > maxTotal {
+			t.Errorf("%s: total %d outside [optimum %d, flat max %d]",
+				name, p.TotalTasks, opt.TotalTasks, maxTotal)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package planner
+
+import (
+	"fmt"
+	"math"
+
+	"dragster/internal/stats"
+	"dragster/internal/streamsim"
+)
+
+// Probe mechanics. One probe pins operator i at n tasks, sets every
+// other operator to the grid maximum, and overdrives the sources so that
+// — if anything upstream can feed it — operator i becomes the bottleneck.
+// The probe then runs a short simulated window and averages the
+// operator's emitted rate, utilization, and input-queue imbalance past a
+// warm-up prefix.
+//
+// Saturation gate: the emitted rate is only a capacity observation when
+// the operator could not keep up — its inputs arrived faster than it
+// drained them AND its CPU was pinned. An unsaturated probe (the rest of
+// the DAG at max parallelism cannot feed cap_i(n)) measures the upstream
+// feed rather than the operator, so it is recorded but contributes no
+// observation, and the schedule stops probing that operator at larger n
+// (capacity curves are monotone in the task count, so every larger probe
+// would be unsaturated too).
+
+// probeWarmupSec is the prefix of each probe excluded from the averages
+// (queues fill and the drain pattern stabilizes during it).
+const probeWarmupSec = 5
+
+// Saturation thresholds: arrivals must outpace consumption by 5% and the
+// mean reported utilization must be pinned near the top of its range.
+const (
+	probeMinArrivalExcess = 1.05
+	probeMinUtil          = 0.8
+)
+
+// Probe records one probe simulation of the schedule.
+type Probe struct {
+	// Operator is the probed operator's name; OpIndex its dense index.
+	Operator string
+	OpIndex  int
+	// Tasks is the probed task count.
+	Tasks int
+	// Capacity is the mean emitted-output rate (tuples/s) past warm-up —
+	// a capacity observation only when Saturated.
+	Capacity float64
+	// Util is the mean reported CPU utilization past warm-up.
+	Util float64
+	// Saturated reports whether the operator was the binding constraint.
+	Saturated bool
+}
+
+// probePoints is the ascending task-count ladder probed per operator:
+// dense at small n (where short scaled-down runs are cheap and the curve
+// bends) and sparse above, always ending at the grid bound.
+func probePoints(maxTasks int) []int {
+	var out []int
+	for n := 1; n <= maxTasks && n <= 3; n++ {
+		out = append(out, n)
+	}
+	for n := 5; n < maxTasks; n += 2 {
+		out = append(out, n)
+	}
+	if maxTasks > 3 {
+		out = append(out, maxTasks)
+	}
+	return out
+}
+
+// runSchedule executes the budget-bounded probe schedule: operators in
+// topological (dense-index) order, ascending task counts, early stop per
+// operator on the first unsaturated probe, hard stop at ProbeBudget.
+func runSchedule(cfg *Config) ([]Probe, error) {
+	spec := cfg.Spec
+	m := spec.Graph.NumOperators()
+	drive := driveRates(cfg)
+	points := probePoints(spec.MaxTasks)
+	var probes []Probe
+	for i := 0; i < m; i++ {
+		for _, n := range points {
+			if len(probes) >= cfg.ProbeBudget {
+				return probes, nil
+			}
+			pr, err := runProbe(cfg, i, n, drive, int64(len(probes)))
+			if err != nil {
+				return nil, err
+			}
+			probes = append(probes, pr)
+			if !pr.Saturated {
+				break // larger n cannot saturate either
+			}
+		}
+	}
+	return probes, nil
+}
+
+// driveRates overdrives every source far past the target so the probed
+// operator, not the offered load, is the binding constraint. YMax bounds
+// every reachable operator capacity, so a YMax-scale feed saturates any
+// operator its upstream can keep fed.
+func driveRates(cfg *Config) []float64 {
+	out := make([]float64, len(cfg.TargetRates))
+	for i, r := range cfg.TargetRates {
+		out[i] = math.Max(2*r, cfg.Spec.YMax)
+	}
+	return out
+}
+
+// runProbe simulates one probe on a fresh engine. Each probe gets its
+// own deterministic RNG stream (derived from the plan seed and the probe
+// index) and its own queues, so probe order never leaks state and the
+// schedule is trivially replayable.
+func runProbe(cfg *Config, op, n int, drive []float64, probeIdx int64) (Probe, error) {
+	spec := cfg.Spec
+	m := spec.Graph.NumOperators()
+	tasks := make([]int, m)
+	for i := range tasks {
+		tasks[i] = spec.MaxTasks
+	}
+	tasks[op] = n
+
+	// Buffers large enough to keep growing for the whole probe: the gate
+	// watches arrival excess, which a full (dropping) buffer would mask.
+	var peak float64
+	for _, r := range drive {
+		if r > peak {
+			peak = r
+		}
+	}
+	engine, err := streamsim.New(streamsim.Config{
+		Graph:            spec.Graph,
+		Models:           spec.Models,
+		NoiseSigma:       cfg.NoiseSigma,
+		UtilNoiseSigma:   cfg.UtilNoiseSigma,
+		MaxBufferPerEdge: 4 * float64(cfg.ProbeSeconds) * math.Max(peak, 1),
+		RNG:              stats.NewRNG(cfg.Seed + 7919*(probeIdx+1)),
+	})
+	if err != nil {
+		return Probe{}, err
+	}
+	if err := engine.SetTasks(tasks); err != nil {
+		return Probe{}, err
+	}
+	engine.BeginSlot()
+
+	var arrived, consumed, emitted, util float64
+	samples := 0
+	for sec := 0; sec < cfg.ProbeSeconds; sec++ {
+		st, err := engine.Tick(drive)
+		if err != nil {
+			return Probe{}, fmt.Errorf("planner: probe %s n=%d tick %d: %w",
+				spec.Graph.OperatorName(op), n, sec, err)
+		}
+		if sec < probeWarmupSec {
+			continue
+		}
+		ot := st.Ops[op]
+		arrived += ot.Arrived
+		consumed += ot.Consumed
+		emitted += ot.Emitted
+		util += ot.Util
+		samples++
+	}
+	s := float64(samples)
+	meanEmitted, meanUtil := emitted/s, util/s
+	saturated := arrived > consumed*probeMinArrivalExcess && meanUtil >= probeMinUtil
+	pr := Probe{
+		Operator:  spec.Graph.OperatorName(op),
+		OpIndex:   op,
+		Tasks:     n,
+		Util:      meanUtil,
+		Saturated: saturated,
+	}
+	if saturated {
+		pr.Capacity = meanEmitted
+	}
+	return pr, nil
+}

@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadTraceCSV pins the hardening contract: arbitrary input either
+// parses into a RateFunc that returns only finite non-negative rates, or
+// fails with one of the typed trace errors — never a panic, never a
+// profile that smuggles NaN/Inf/negative rates into the simulator.
+func FuzzLoadTraceCSV(f *testing.F) {
+	f.Add("50000, 20000\n60000, 25000\n")
+	f.Add("# comment\n1,2\n")
+	f.Add("1,2\n3\n")
+	f.Add("NaN\n")
+	f.Add("-1\n")
+	f.Add("1e309\n")
+	f.Add("")
+	f.Add("\"quoted\n")
+	f.Add("0x1p-2,0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		fn, err := LoadTraceCSV(strings.NewReader(src))
+		if err != nil {
+			if errors.Is(err, ErrTraceEmpty) || errors.Is(err, ErrTraceRagged) || errors.Is(err, ErrTraceBadValue) {
+				return
+			}
+			// CSV-syntax failures (bare quotes etc.) keep their own error.
+			if strings.Contains(err.Error(), "trace CSV") {
+				return
+			}
+			t.Fatalf("untyped error: %v", err)
+		}
+		for _, slot := range []int{-1, 0, 1, 100, 1 << 20} {
+			for _, v := range fn(slot, 0) {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("slot %d produced invalid rate %v from %q", slot, v, src)
+				}
+			}
+		}
+	})
+}

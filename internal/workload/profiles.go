@@ -9,6 +9,19 @@ import (
 	"strconv"
 )
 
+// Typed trace-validation errors. Callers branch on these with errors.Is;
+// the wrapped message carries the row/field detail.
+var (
+	// ErrTraceEmpty reports a trace with no rows (or rows with no
+	// sources) — nothing to replay.
+	ErrTraceEmpty = errors.New("workload: empty trace")
+	// ErrTraceRagged reports rows that disagree on the source count.
+	ErrTraceRagged = errors.New("workload: ragged trace")
+	// ErrTraceBadValue reports a rate that is not a finite non-negative
+	// number (NaN, ±Inf, negative, or unparseable).
+	ErrTraceBadValue = errors.New("workload: bad trace value")
+)
+
 // Sinusoid models the gradual diurnal drift the paper's introduction
 // motivates: rates oscillate around base with the given amplitude and
 // period (in slots). amplitude must leave rates non-negative.
@@ -39,23 +52,24 @@ func Sinusoid(base, amplitude []float64, periodSlots int) (RateFunc, error) {
 
 // Trace replays an explicit per-slot rate schedule, clamping to the last
 // entry when the run outlives the trace. Each row must cover every
-// source.
+// source. Validation failures wrap ErrTraceEmpty / ErrTraceRagged /
+// ErrTraceBadValue.
 func Trace(rows [][]float64) (RateFunc, error) {
 	if len(rows) == 0 {
-		return nil, errors.New("workload: empty trace")
+		return nil, fmt.Errorf("%w: no rows", ErrTraceEmpty)
 	}
 	n := len(rows[0])
 	if n == 0 {
-		return nil, errors.New("workload: trace rows must be non-empty")
+		return nil, fmt.Errorf("%w: rows carry no sources", ErrTraceEmpty)
 	}
 	cp := make([][]float64, len(rows))
 	for i, r := range rows {
 		if len(r) != n {
-			return nil, fmt.Errorf("workload: trace row %d has %d rates, want %d", i, len(r), n)
+			return nil, fmt.Errorf("%w: row %d has %d rates, want %d", ErrTraceRagged, i, len(r), n)
 		}
 		for j, v := range r {
 			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("workload: trace row %d rate %d = %v invalid", i, j, v)
+				return nil, fmt.Errorf("%w: row %d rate %d = %v", ErrTraceBadValue, i, j, v)
 			}
 		}
 		cp[i] = append([]float64(nil), r...)
@@ -73,7 +87,10 @@ func Trace(rows [][]float64) (RateFunc, error) {
 
 // LoadTraceCSV parses a rate trace with one row per slot and one column
 // per source (plain numbers, no header). Lines starting with '#' are
-// skipped.
+// skipped. Malformed input wraps the same typed errors as Trace:
+// ErrTraceRagged for rows that disagree on the column count,
+// ErrTraceBadValue for fields that do not parse to a finite non-negative
+// number, ErrTraceEmpty when nothing remains.
 func LoadTraceCSV(r io.Reader) (RateFunc, error) {
 	cr := csv.NewReader(r)
 	cr.Comment = '#'
@@ -85,17 +102,111 @@ func LoadTraceCSV(r io.Reader) (RateFunc, error) {
 			break
 		}
 		if err != nil {
+			if errors.Is(err, csv.ErrFieldCount) {
+				return nil, fmt.Errorf("%w: %v", ErrTraceRagged, err)
+			}
 			return nil, fmt.Errorf("workload: reading trace CSV: %w", err)
 		}
 		row := make([]float64, len(rec))
 		for i, f := range rec {
 			v, err := strconv.ParseFloat(f, 64)
 			if err != nil {
-				return nil, fmt.Errorf("workload: trace CSV field %q: %w", f, err)
+				return nil, fmt.Errorf("%w: field %q: %v", ErrTraceBadValue, f, err)
 			}
 			row[i] = v
 		}
 		rows = append(rows, row)
 	}
 	return Trace(rows)
+}
+
+// Scale composes a base profile with a time-varying multiplier — the
+// trace-replay building block: a diurnal (or replayed-CSV) base shaped by
+// an event multiplier like FlashCrowdMultiplier or
+// BlackFridayMultiplier.
+func Scale(base RateFunc, mult func(slot, sec int) float64) (RateFunc, error) {
+	if base == nil || mult == nil {
+		return nil, errors.New("workload: Scale needs a base profile and a multiplier")
+	}
+	return func(slot, sec int) []float64 {
+		rates := base(slot, sec)
+		m := mult(slot, sec)
+		out := make([]float64, len(rates))
+		for i, r := range rates {
+			out[i] = r * m
+		}
+		return out
+	}, nil
+}
+
+// FlashCrowdMultiplier models an unanticipated traffic spike: load jumps
+// straight to peak× at startSlot (the "flash"), holds for holdSlots, and
+// decays linearly back to 1× over decaySlots. holdSlots=1, decaySlots=0
+// is a single-slot spike.
+func FlashCrowdMultiplier(startSlot, holdSlots, decaySlots int, peak float64) (func(slot, sec int) float64, error) {
+	if startSlot < 0 || holdSlots < 1 || decaySlots < 0 {
+		return nil, fmt.Errorf("workload: flash crowd start %d hold %d decay %d invalid", startSlot, holdSlots, decaySlots)
+	}
+	if peak < 1 || math.IsNaN(peak) || math.IsInf(peak, 0) {
+		return nil, fmt.Errorf("workload: flash crowd peak %v must be a finite multiplier ≥ 1", peak)
+	}
+	return func(slot, _ int) float64 {
+		t := slot - startSlot
+		switch {
+		case t < 0:
+			return 1
+		case t < holdSlots:
+			return peak
+		case t < holdSlots+decaySlots:
+			return peak - (peak-1)*float64(t-holdSlots+1)/float64(decaySlots+1)
+		default:
+			return 1
+		}
+	}, nil
+}
+
+// FlashCrowd applies FlashCrowdMultiplier to a base profile.
+func FlashCrowd(base RateFunc, startSlot, holdSlots, decaySlots int, peak float64) (RateFunc, error) {
+	m, err := FlashCrowdMultiplier(startSlot, holdSlots, decaySlots, peak)
+	if err != nil {
+		return nil, err
+	}
+	return Scale(base, m)
+}
+
+// BlackFridayMultiplier models an anticipated sales event: load builds
+// smoothly (smoothstep) to peak× over buildSlots, plateaus for saleSlots,
+// then winds down symmetrically over decaySlots.
+func BlackFridayMultiplier(startSlot, buildSlots, saleSlots, decaySlots int, peak float64) (func(slot, sec int) float64, error) {
+	if startSlot < 0 || buildSlots < 0 || saleSlots < 1 || decaySlots < 0 {
+		return nil, fmt.Errorf("workload: black friday start %d build %d sale %d decay %d invalid", startSlot, buildSlots, saleSlots, decaySlots)
+	}
+	if peak < 1 || math.IsNaN(peak) || math.IsInf(peak, 0) {
+		return nil, fmt.Errorf("workload: black friday peak %v must be a finite multiplier ≥ 1", peak)
+	}
+	smooth := func(u float64) float64 { return u * u * (3 - 2*u) }
+	return func(slot, _ int) float64 {
+		t := slot - startSlot
+		switch {
+		case t < 0:
+			return 1
+		case t < buildSlots:
+			return 1 + (peak-1)*smooth(float64(t+1)/float64(buildSlots+1))
+		case t < buildSlots+saleSlots:
+			return peak
+		case t < buildSlots+saleSlots+decaySlots:
+			return 1 + (peak-1)*smooth(1-float64(t-buildSlots-saleSlots+1)/float64(decaySlots+1))
+		default:
+			return 1
+		}
+	}, nil
+}
+
+// BlackFriday applies BlackFridayMultiplier to a base profile.
+func BlackFriday(base RateFunc, startSlot, buildSlots, saleSlots, decaySlots int, peak float64) (RateFunc, error) {
+	m, err := BlackFridayMultiplier(startSlot, buildSlots, saleSlots, decaySlots, peak)
+	if err != nil {
+		return nil, err
+	}
+	return Scale(base, m)
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -94,5 +95,188 @@ func TestLoadTraceCSV(t *testing.T) {
 	}
 	if _, err := LoadTraceCSV(strings.NewReader("")); err == nil {
 		t.Error("empty CSV accepted")
+	}
+}
+
+func TestTraceTypedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		rows [][]float64
+		want error
+	}{
+		{"no rows", nil, ErrTraceEmpty},
+		{"empty rows", [][]float64{{}, {}}, ErrTraceEmpty},
+		{"ragged", [][]float64{{1}, {1, 2}}, ErrTraceRagged},
+		{"nan", [][]float64{{math.NaN()}}, ErrTraceBadValue},
+		{"negative", [][]float64{{-5}}, ErrTraceBadValue},
+		{"inf", [][]float64{{math.Inf(1)}}, ErrTraceBadValue},
+	}
+	for _, c := range cases {
+		if _, err := Trace(c.rows); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestLoadTraceCSVTypedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want error
+	}{
+		{"empty", "", ErrTraceEmpty},
+		{"comments only", "# nothing here\n", ErrTraceEmpty},
+		{"ragged", "1,2\n3\n", ErrTraceRagged},
+		{"non-numeric", "abc,1\n", ErrTraceBadValue},
+		{"nan", "NaN,1\n", ErrTraceBadValue},
+		{"negative", "-4,1\n", ErrTraceBadValue},
+		{"inf", "Inf,1\n", ErrTraceBadValue},
+	}
+	for _, c := range cases {
+		if _, err := LoadTraceCSV(strings.NewReader(c.src)); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	base, err := Constant([]float64{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Scale(base, func(slot, _ int) float64 { return float64(slot + 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f(2, 0); got[0] != 300 || got[1] != 600 {
+		t.Errorf("scaled rates = %v, want [300 600]", got)
+	}
+	if _, err := Scale(nil, nil); err == nil {
+		t.Error("nil base accepted")
+	}
+}
+
+func TestFlashCrowdShape(t *testing.T) {
+	base, err := Constant([]float64{1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := FlashCrowd(base, 10, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f(9, 0)[0]; got != 1000 {
+		t.Errorf("pre-spike rate = %v", got)
+	}
+	if got := f(10, 0)[0]; got != 3000 {
+		t.Errorf("spike onset = %v, want 3000 (flash, no ramp)", got)
+	}
+	if got := f(11, 0)[0]; got != 3000 {
+		t.Errorf("hold = %v, want 3000", got)
+	}
+	// Linear decay strictly between peak and base, then back to base.
+	for slot := 12; slot < 14; slot++ {
+		got := f(slot, 0)[0]
+		if got <= 1000 || got >= 3000 {
+			t.Errorf("decay slot %d rate = %v outside (1000, 3000)", slot, got)
+		}
+		if prev := f(slot-1, 0)[0]; got >= prev {
+			t.Errorf("decay slot %d rate %v did not fall from %v", slot, got, prev)
+		}
+	}
+	if got := f(14, 0)[0]; got != 1000 {
+		t.Errorf("post-decay rate = %v, want 1000", got)
+	}
+
+	for _, bad := range []func() (RateFunc, error){
+		func() (RateFunc, error) { return FlashCrowd(base, -1, 1, 0, 2) },
+		func() (RateFunc, error) { return FlashCrowd(base, 0, 0, 0, 2) },
+		func() (RateFunc, error) { return FlashCrowd(base, 0, 1, -1, 2) },
+		func() (RateFunc, error) { return FlashCrowd(base, 0, 1, 0, 0.5) },
+		func() (RateFunc, error) { return FlashCrowd(base, 0, 1, 0, math.NaN()) },
+	} {
+		if _, err := bad(); err == nil {
+			t.Error("invalid flash-crowd config accepted")
+		}
+	}
+}
+
+func TestBlackFridayShape(t *testing.T) {
+	base, err := Constant([]float64{1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := BlackFriday(base, 5, 4, 3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f(4, 0)[0]; got != 1000 {
+		t.Errorf("pre-event rate = %v", got)
+	}
+	// Smooth build: strictly increasing, never exceeding the plateau.
+	prev := 1000.0
+	for slot := 5; slot < 9; slot++ {
+		got := f(slot, 0)[0]
+		if got <= prev || got > 5000 {
+			t.Errorf("build slot %d rate = %v (prev %v)", slot, got, prev)
+		}
+		prev = got
+	}
+	for slot := 9; slot < 12; slot++ {
+		if got := f(slot, 0)[0]; got != 5000 {
+			t.Errorf("plateau slot %d rate = %v, want 5000", slot, got)
+		}
+	}
+	// Wind-down: strictly decreasing back to base.
+	prev = 5000
+	for slot := 12; slot < 16; slot++ {
+		got := f(slot, 0)[0]
+		if got >= prev || got < 1000 {
+			t.Errorf("decay slot %d rate = %v (prev %v)", slot, got, prev)
+		}
+		prev = got
+	}
+	if got := f(16, 0)[0]; got != 1000 {
+		t.Errorf("post-event rate = %v, want 1000", got)
+	}
+
+	if _, err := BlackFriday(base, 0, 0, 0, 0, 2); err == nil {
+		t.Error("zero-length sale accepted")
+	}
+	if _, err := BlackFriday(base, 0, 1, 1, 1, math.Inf(1)); err == nil {
+		t.Error("infinite peak accepted")
+	}
+}
+
+func TestPhaseBoundariesEdges(t *testing.T) {
+	base, err := Constant([]float64{1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-length horizon: no phases at all.
+	if got := PhaseBoundaries(base, 0); got != nil {
+		t.Errorf("zero-slot boundaries = %v, want nil", got)
+	}
+	// Single-slot spike: base → spike → base is three phases after the
+	// mandatory slot-0 start.
+	f, err := FlashCrowd(base, 3, 1, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := PhaseBoundaries(f, 8)
+	want := []int{0, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("spike boundaries = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("spike boundaries = %v, want %v", got, want)
+		}
+	}
+	// Horizon ending inside the spike: the return-to-base boundary is
+	// out of range and must not be reported.
+	got = PhaseBoundaries(f, 4)
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("truncated boundaries = %v, want [0 3]", got)
 	}
 }
